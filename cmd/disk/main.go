@@ -1,0 +1,55 @@
+// Command disk runs the planet-forming-disk case study (§IV): a
+// planetesimal disk with a Jupiter-mass perturber evolved under
+// self-gravity with collision detection, printing the radial collision
+// profile with the 3:1, 2:1, and 5:3 mean-motion resonances marked
+// (Fig 12), using the longest-dimension tree and ORB decomposition the
+// case study advocates (Fig 13).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"paratreet/internal/experiments"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 20000, "number of planetesimals")
+		steps = flag.Int("steps", 60, "integration steps")
+		dt    = flag.Float64("dt", 0.02, "step size")
+		w     = flag.Int("workers", 4, "total simulated workers")
+		boost = flag.Float64("boost", 4000, "body-radius inflation for laptop-scale N")
+		seed  = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	opts := experiments.DiskOptions{
+		N: *n, Steps: *steps, Dt: *dt, Workers: *w, Seed: *seed, RadiusBoost: *boost,
+	}
+	start := time.Now()
+	res, err := experiments.RunFig12(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+
+	fmt.Printf("\nperiod profile (collisions per orbital-period bin):\n")
+	maxC := 1
+	for _, c := range res.PeriodBins {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range res.PeriodBins {
+		if c == 0 {
+			continue
+		}
+		p := 75.0 * (float64(i) + 0.5) / float64(len(res.PeriodBins))
+		fmt.Printf("P=%5.1f %4d %s\n", p, c, strings.Repeat("*", c*40/maxC))
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}

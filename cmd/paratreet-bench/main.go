@@ -1,0 +1,173 @@
+// Command paratreet-bench regenerates the paper's evaluation tables and
+// figures at laptop scale. Each subcommand prints a text rendering of one
+// experiment; see EXPERIMENTS.md for paper-vs-measured commentary.
+//
+// Usage:
+//
+//	paratreet-bench [flags] <experiment>
+//
+// Experiments: fig3 fig9 fig10 fig11 fig12 fig13 table1 table2 table3 lb
+// fetchdepth style all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"paratreet/internal/experiments"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 0, "particle count (0 = experiment default)")
+		iters   = flag.Int("iters", 0, "measured iterations (0 = default)")
+		workers = flag.String("workers", "", "comma-separated worker sweep, e.g. 1,2,4,8")
+		wpp     = flag.Int("wpp", 0, "workers per simulated process (0 = default)")
+		quick   = flag.Bool("quick", false, "fast smoke-test scale")
+		seed    = flag.Int64("seed", 42, "dataset seed")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>\n", os.Args[0])
+		fmt.Fprintln(os.Stderr, "experiments: fig3 fig9 fig10 fig11 fig12 fig13 table1 table2 table3 lb fetchdepth sharedepth style all")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.Defaults()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *n > 0 {
+		opts.N = *n
+	}
+	if *iters > 0 {
+		opts.Iters = *iters
+	}
+	if *wpp > 0 {
+		opts.WorkersPerProc = *wpp
+	}
+	opts.Seed = *seed
+	if *workers != "" {
+		opts.Workers = nil
+		for _, tok := range strings.Split(*workers, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v <= 0 {
+				fatal(fmt.Errorf("bad -workers value %q", tok))
+			}
+			opts.Workers = append(opts.Workers, v)
+		}
+	}
+
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, exp := range []string{"table1", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "table3", "lb", "fetchdepth", "sharedepth", "style"} {
+			run(exp, opts, *quick)
+			fmt.Println()
+		}
+		return
+	}
+	run(name, opts, *quick)
+}
+
+func run(name string, opts experiments.Options, quick bool) {
+	switch name {
+	case "table1":
+		fmt.Print(experiments.RunTable1())
+	case "fig3":
+		print1(experiments.RunFig3(opts))
+	case "fig9":
+		print1(experiments.RunFig9(opts))
+	case "fig10":
+		print1(experiments.RunFig10(opts))
+	case "fig11":
+		print1(experiments.RunFig11(opts))
+	case "fig12":
+		dopts := experiments.DefaultDiskOptions()
+		dopts.Seed = opts.Seed
+		if quick {
+			dopts.N, dopts.Steps = 4000, 15
+		}
+		res, err := experiments.RunFig12(dopts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+	case "fig13":
+		fopts := opts
+		if fopts.N > 20000 {
+			fopts.N = 20000
+		}
+		print1(experiments.RunFig13(fopts))
+	case "table2":
+		n := 100000
+		cpus := []int{1, 2, 4, 8, 16}
+		if quick {
+			n, cpus = 10000, []int{1, 4}
+		}
+		rows, err := experiments.RunTable2(n, cpus, max(1, opts.Iters-1), opts.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatTable2(rows))
+	case "table3":
+		root, err := repoRoot()
+		if err != nil {
+			fatal(err)
+		}
+		out, err := experiments.RunTable3(root)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "lb":
+		print1(experiments.RunLBAblation(opts))
+	case "fetchdepth":
+		print1(experiments.RunFetchDepthAblation(opts, []int{1, 2, 3, 5, 8}))
+	case "sharedepth":
+		print1(experiments.RunShareDepthAblation(opts, []int{0, 1, 2, 4}))
+	case "style":
+		print1(experiments.RunStyleComparison(opts))
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", name))
+	}
+}
+
+func print1(res *experiments.Result, err error) {
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Format())
+}
+
+// repoRoot finds the module root by walking up from the working directory
+// to the first go.mod.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			break
+		}
+		dir = parent
+	}
+	return "", fmt.Errorf("go.mod not found above working directory")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paratreet-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+package paratreet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config specifies a simulation's machine, decomposition, tree, cache, and
+// load-balancing parameters — the configuration object of §II-D2.
+type Config struct {
+	// Procs is the number of simulated processes. Default 1.
+	Procs int
+	// WorkersPerProc is the number of worker threads per process.
+	// Default 1.
+	WorkersPerProc int
+
+	// Tree selects the tree type (TreeOct, TreeKD, TreeLongestDim).
+	Tree TreeType
+	// Decomp selects the partition decomposition (DecompSFC, ...).
+	Decomp DecompType
+	// BucketSize is the maximum particles per leaf. Default 16.
+	BucketSize int
+	// Partitions is the number of Partitions (load units); the paper
+	// over-decomposes, so the default is 8 per process.
+	Partitions int
+	// Subtrees is the number of Subtrees (memory units); default 4 per
+	// process.
+	Subtrees int
+
+	// CachePolicy selects the software-cache insertion model.
+	CachePolicy CachePolicy
+	// FetchDepth is the number of descendant levels shipped per remote
+	// request. Default 3.
+	FetchDepth int
+	// ShareDepth is how many levels below every subtree root are broadcast
+	// to all processes before traversal (the paper's branch-node sharing
+	// knob). 0 shares root summaries only.
+	ShareDepth int
+
+	// Style selects the top-down traversal loop organization.
+	Style TraversalStyle
+
+	// LB selects the load balancer; LBPeriod is how many iterations pass
+	// between re-balancing (0 disables).
+	LB       LBMode
+	LBPeriod int
+
+	// Latency and PerByte model the interconnect.
+	Latency time.Duration
+	PerByte time.Duration
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Procs < 0 || c.WorkersPerProc < 0 {
+		return fmt.Errorf("paratreet: negative machine dimensions")
+	}
+	if c.BucketSize < 0 || c.Partitions < 0 || c.Subtrees < 0 || c.FetchDepth < 0 {
+		return fmt.Errorf("paratreet: negative decomposition parameters")
+	}
+	if c.LBPeriod < 0 {
+		return fmt.Errorf("paratreet: negative LB period")
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module paratreet
+
+go 1.24

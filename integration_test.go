@@ -1,0 +1,155 @@
+package paratreet_test
+
+import (
+	"math"
+	"testing"
+
+	"paratreet"
+	"paratreet/internal/gravity"
+	"paratreet/internal/particle"
+)
+
+// TestDynamicPlummerCollapse runs a real multi-iteration simulation in
+// which particles move between iterations, exercising rebuild-per-step:
+// universe recomputation, re-decomposition, subtree rebuilds, cache
+// resets, and leaf re-sharing. A cold-started Plummer sphere must begin
+// collapsing (kinetic energy rises, no particles lost, no NaNs).
+func TestDynamicPlummerCollapse(t *testing.T) {
+	const n = 3000
+	ps := particle.NewPlummer(n, 99, paratreet.V(0, 0, 0), 0.5)
+	sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
+		Procs: 3, WorkersPerProc: 2,
+		Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC, BucketSize: 16,
+		LB: paratreet.LBSFC, LBPeriod: 2,
+	}, gravity.Accumulator{}, gravity.Codec{}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	par := gravity.Params{G: 1, Theta: 0.6, Soft: 1e-3}
+	var kinetic []float64
+	driver := paratreet.DriverFuncs[gravity.CentroidData]{
+		TraversalFn: func(s *paratreet.Simulation[gravity.CentroidData], iter int) {
+			s.ForEachBucket(func(_ *paratreet.Partition[gravity.CentroidData], b *paratreet.Bucket) {
+				particle.ResetAcc(b.Particles)
+			})
+			paratreet.StartDown(s, func(p *paratreet.Partition[gravity.CentroidData]) gravity.Visitor[gravity.CentroidData] {
+				return gravity.New(par)
+			})
+		},
+		PostTraversalFn: func(s *paratreet.Simulation[gravity.CentroidData], iter int) {
+			var ke float64
+			s.ForEachBucket(func(_ *paratreet.Partition[gravity.CentroidData], b *paratreet.Bucket) {
+				gravity.KickDrift(b.Particles, 5e-3)
+				ke += gravity.KineticEnergy(b.Particles)
+			})
+			kinetic = append(kinetic, ke)
+		},
+	}
+	if err := sim.Run(6, driver); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Particles()) != n {
+		t.Fatalf("lost particles: %d", len(sim.Particles()))
+	}
+	seen := map[int64]bool{}
+	for _, p := range sim.Particles() {
+		if seen[p.ID] {
+			t.Fatalf("duplicate particle %d", p.ID)
+		}
+		seen[p.ID] = true
+		if !p.Pos.IsFinite() || !p.Vel.IsFinite() || !p.Acc.IsFinite() {
+			t.Fatalf("non-finite state on particle %d", p.ID)
+		}
+	}
+	if kinetic[len(kinetic)-1] <= kinetic[0] {
+		t.Errorf("cold sphere did not start collapsing: KE %v -> %v",
+			kinetic[0], kinetic[len(kinetic)-1])
+	}
+}
+
+// TestMomentumConservationThroughFramework checks that the framework's
+// distributed Barnes-Hut respects Newton's third law approximately: with a
+// symmetric exact reference the net force is 0; BH approximation leaves a
+// small residual that must shrink with theta.
+func TestMomentumConservationThroughFramework(t *testing.T) {
+	const n = 2000
+	run := func(theta float64) float64 {
+		ps := particle.NewClustered(n, 5, paratreet.Box{Max: paratreet.V(1, 1, 1)}, 4)
+		sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
+			Procs: 2, WorkersPerProc: 2,
+			Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC, BucketSize: 8,
+		}, gravity.Accumulator{}, gravity.Codec{}, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Close()
+		driver := paratreet.DriverFuncs[gravity.CentroidData]{
+			TraversalFn: func(s *paratreet.Simulation[gravity.CentroidData], iter int) {
+				paratreet.StartDown(s, func(p *paratreet.Partition[gravity.CentroidData]) gravity.Visitor[gravity.CentroidData] {
+					return gravity.New(gravity.Params{G: 1, Theta: theta, Soft: 1e-3})
+				})
+			},
+		}
+		if err := sim.Run(1, driver); err != nil {
+			t.Fatal(err)
+		}
+		var f paratreet.Vec3
+		var scale float64
+		for _, p := range sim.Particles() {
+			f = f.Add(p.Acc.Scale(p.Mass))
+			scale += p.Acc.Norm() * p.Mass
+		}
+		return f.Norm() / scale
+	}
+	loose := run(0.9)
+	tight := run(0.3)
+	if tight > 0.05 {
+		t.Errorf("net force residual %.4f at theta=0.3 too large", tight)
+	}
+	if tight >= loose && loose > 1e-12 {
+		t.Errorf("residual did not shrink with theta: %.5f (0.9) vs %.5f (0.3)", loose, tight)
+	}
+}
+
+// TestAllDecompTreeCombos runs one gravity iteration under every
+// decomposition x tree combination to catch integration gaps.
+func TestAllDecompTreeCombos(t *testing.T) {
+	ps0 := particle.NewUniform(1500, 3, paratreet.Box{Max: paratreet.V(1, 1, 1)})
+	ref := particle.Clone(ps0)
+	gravity.Direct(ref, gravity.Params{G: 1, Theta: 0.5, Soft: 1e-3})
+	refByID := make([]particle.Particle, len(ref))
+	for i := range ref {
+		refByID[ref[i].ID] = ref[i]
+	}
+	for _, tt := range []paratreet.TreeType{paratreet.TreeOct, paratreet.TreeKD, paratreet.TreeLongestDim} {
+		for _, dt := range []paratreet.DecompType{paratreet.DecompSFC, paratreet.DecompSFCHilbert, paratreet.DecompOct, paratreet.DecompORB} {
+			sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
+				Procs: 2, WorkersPerProc: 2,
+				Tree: tt, Decomp: dt, BucketSize: 8,
+			}, gravity.Accumulator{}, gravity.Codec{}, particle.Clone(ps0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			driver := paratreet.DriverFuncs[gravity.CentroidData]{
+				TraversalFn: func(s *paratreet.Simulation[gravity.CentroidData], iter int) {
+					paratreet.StartDown(s, func(p *paratreet.Partition[gravity.CentroidData]) gravity.Visitor[gravity.CentroidData] {
+						return gravity.New(gravity.Params{G: 1, Theta: 0.5, Soft: 1e-3})
+					})
+				},
+			}
+			if err := sim.Run(1, driver); err != nil {
+				t.Fatalf("%v/%v: %v", tt, dt, err)
+			}
+			got := make([]particle.Particle, len(ps0))
+			for _, p := range sim.Particles() {
+				got[p.ID] = p
+			}
+			med := gravity.MedianError(gravity.AccelError(got, refByID))
+			sim.Close()
+			if math.IsNaN(med) || med > 0.03 {
+				t.Errorf("%v/%v: median error %.4f", tt, dt, med)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package changa re-implements the algorithmic profile of ChaNGa's
+// distributed Barnes-Hut solver — the paper's primary comparison target
+// (Fig 10, Fig 13) — using the mechanisms the paper credits for the
+// performance gap between the two systems:
+//
+//   - per-bucket depth-first tree walks instead of ParaTreeT's transposed
+//     loop (larger working set, one walk per bucket);
+//   - per-worker remote fetches: "ChaNGa often makes the same remote fetch
+//     for multiple worker threads within the same process";
+//   - the traditional subtree-splitting tree build: SFC decomposition of an
+//     octree duplicates every ancestor of boundary leaves ("branch nodes")
+//     across processes, and merging their Data costs extra messages and
+//     synchronization at build time.
+//
+// The first two are configurations of the shared framework (StylePerBucket,
+// CachePerThread); the third exchanges one real merge message per
+// duplicated boundary ancestor per direction through the simulated
+// interconnect and blocks on the reduction, timed into the build phase.
+package changa
+
+import (
+	"sync/atomic"
+	"time"
+
+	"paratreet"
+	"paratreet/internal/core"
+	"paratreet/internal/gravity"
+	"paratreet/internal/rt"
+	"paratreet/internal/tree"
+)
+
+// Config returns the framework configuration that reproduces ChaNGa's
+// algorithmic profile on a machine of the given shape.
+func Config(procs, workers, bucketSize int) paratreet.Config {
+	return paratreet.Config{
+		Procs:          procs,
+		WorkersPerProc: workers,
+		Tree:           paratreet.TreeOct,
+		Decomp:         paratreet.DecompSFC,
+		BucketSize:     bucketSize,
+		Style:          paratreet.StylePerBucket,
+		CachePolicy:    paratreet.CachePerThread,
+	}
+}
+
+// MergeBranchNodes emulates the non-local-ancestor merge of the
+// traditional (subtree-splitting) tree build: for every boundary between
+// subtrees owned by different processes, the ancestors of the boundary
+// leaf are duplicated on both sides and their partial moments must be
+// exchanged and reduced. One message per duplicated ancestor per direction
+// crosses the simulated wire, and the step blocks until every merge
+// acknowledges — the synchronization the Partitions-Subtrees model
+// eliminates. It returns the number of branch nodes merged.
+func MergeBranchNodes[D any](s *paratreet.Simulation[D], codec paratreet.DataCodec[D]) int {
+	m := s.Machine()
+	world := s.World()
+	if m.NumProcs() < 2 {
+		return 0
+	}
+	var acks atomic.Int64
+	world.SetRawHandler(func(self, from int, msg core.RawMsg) {
+		if msg.Tag == "branch-merge" {
+			// Reduce: decode the partial Data (real deserialization work)
+			// and acknowledge.
+			codec.DecodeData(msg.Blob)
+			world.SendRaw(self, from, core.RawMsg{Tag: "branch-ack"})
+			return
+		}
+		acks.Add(1)
+	})
+	start := time.Now()
+	sent := 0
+	var zero D
+	blob := codec.AppendData(nil, zero)
+	for i := 0; i+1 < len(world.Subtrees); i++ {
+		a, b := world.Subtrees[i], world.Subtrees[i+1]
+		if a.Owner == b.Owner {
+			continue
+		}
+		// Every ancestor of the boundary leaf, from the deepest leaf level
+		// of the left subtree up to the global root, is duplicated.
+		depth := tree.Depth(a.Root) + a.Level
+		for d := 0; d < depth; d++ {
+			world.SendRaw(a.Owner, b.Owner, core.RawMsg{Tag: "branch-merge", Blob: blob})
+			world.SendRaw(b.Owner, a.Owner, core.RawMsg{Tag: "branch-merge", Blob: blob})
+			sent += 2
+		}
+	}
+	// Block until every merge is acknowledged: the build-time barrier.
+	for acks.Load() < int64(sent) {
+		time.Sleep(5 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	for r := 0; r < m.NumProcs(); r++ {
+		m.Proc(r).AddPhase(rt.PhaseTreeBuild, elapsed/time.Duration(m.NumProcs()))
+	}
+	return sent / 2
+}
+
+// Driver returns a ChaNGa-style gravity driver: branch-node merge
+// emulation followed by per-bucket Barnes-Hut walks.
+func Driver(par gravity.Params) paratreet.Driver[gravity.CentroidData] {
+	return paratreet.DriverFuncs[gravity.CentroidData]{
+		TraversalFn: func(s *paratreet.Simulation[gravity.CentroidData], iter int) {
+			MergeBranchNodes(s, gravity.Codec{})
+			paratreet.StartDown(s, func(p *paratreet.Partition[gravity.CentroidData]) gravity.Visitor[gravity.CentroidData] {
+				return gravity.New(par)
+			})
+		},
+	}
+}

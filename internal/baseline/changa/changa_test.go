@@ -1,0 +1,131 @@
+package changa_test
+
+import (
+	"testing"
+
+	"paratreet"
+	"paratreet/internal/baseline/changa"
+	"paratreet/internal/gravity"
+	"paratreet/internal/particle"
+	"paratreet/internal/vec"
+)
+
+func TestConfigProfile(t *testing.T) {
+	cfg := changa.Config(4, 6, 12)
+	if cfg.Style != paratreet.StylePerBucket {
+		t.Error("ChaNGa profile must walk per bucket")
+	}
+	if cfg.CachePolicy != paratreet.CachePerThread {
+		t.Error("ChaNGa profile must fetch per worker")
+	}
+	if cfg.Tree != paratreet.TreeOct || cfg.Decomp != paratreet.DecompSFC {
+		t.Error("ChaNGa profile is SFC decomposition over octrees")
+	}
+}
+
+func TestChaNGaSolverMatchesDirect(t *testing.T) {
+	const n = 600
+	ps := particle.NewUniform(n, 3, vec.UnitBox())
+	par := gravity.Params{G: 1, Theta: 0.5, Soft: 1e-3}
+	ref := particle.Clone(ps)
+	gravity.Direct(ref, par)
+	refByID := make([]particle.Particle, n)
+	for i := range ref {
+		refByID[ref[i].ID] = ref[i]
+	}
+	sim, err := paratreet.NewSimulation[gravity.CentroidData](
+		changa.Config(2, 2, 8), gravity.Accumulator{}, gravity.Codec{}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(1, changa.Driver(par)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]particle.Particle, n)
+	for _, p := range sim.Particles() {
+		got[p.ID] = p
+	}
+	if med := gravity.MedianError(gravity.AccelError(got, refByID)); med > 0.02 {
+		t.Errorf("median error %.4f", med)
+	}
+}
+
+func TestMergeBranchNodesCommunicates(t *testing.T) {
+	ps := particle.NewUniform(2000, 4, vec.UnitBox())
+	sim, err := paratreet.NewSimulation[gravity.CentroidData](
+		changa.Config(4, 1, 8), gravity.Accumulator{}, gravity.Codec{}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	merged := 0
+	driver := paratreet.DriverFuncs[gravity.CentroidData]{
+		TraversalFn: func(s *paratreet.Simulation[gravity.CentroidData], iter int) {
+			before := s.Stats().MessagesSent
+			merged = changa.MergeBranchNodes(s, gravity.Codec{})
+			after := s.Stats().MessagesSent
+			if merged == 0 {
+				t.Error("no branch nodes merged across 4 procs")
+			}
+			// Two messages per branch node plus acks.
+			if after-before < int64(2*merged) {
+				t.Errorf("merge sent %d messages for %d branch nodes", after-before, merged)
+			}
+		},
+	}
+	if err := sim.Run(1, driver); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSingleProcIsFree(t *testing.T) {
+	ps := particle.NewUniform(200, 5, vec.UnitBox())
+	sim, err := paratreet.NewSimulation[gravity.CentroidData](
+		changa.Config(1, 2, 8), gravity.Accumulator{}, gravity.Codec{}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	driver := paratreet.DriverFuncs[gravity.CentroidData]{
+		TraversalFn: func(s *paratreet.Simulation[gravity.CentroidData], iter int) {
+			if got := changa.MergeBranchNodes(s, gravity.Codec{}); got != 0 {
+				t.Errorf("single proc merged %d", got)
+			}
+		},
+	}
+	if err := sim.Run(1, driver); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaNGaDuplicateFetches(t *testing.T) {
+	// With the per-thread cache, a 2-worker process issues more requests
+	// than a WaitFree shared cache would for the same work.
+	run := func(policy paratreet.CachePolicy) int64 {
+		ps := particle.NewUniform(1500, 6, vec.UnitBox())
+		cfg := changa.Config(2, 2, 8)
+		cfg.CachePolicy = policy
+		sim, err := paratreet.NewSimulation[gravity.CentroidData](cfg, gravity.Accumulator{}, gravity.Codec{}, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Close()
+		driver := paratreet.DriverFuncs[gravity.CentroidData]{
+			TraversalFn: func(s *paratreet.Simulation[gravity.CentroidData], iter int) {
+				paratreet.StartDown(s, func(p *paratreet.Partition[gravity.CentroidData]) gravity.Visitor[gravity.CentroidData] {
+					return gravity.New(gravity.Params{G: 1, Theta: 0.3, Soft: 1e-3})
+				})
+			},
+		}
+		if err := sim.Run(1, driver); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Stats().NodeRequests
+	}
+	perThread := run(paratreet.CachePerThread)
+	shared := run(paratreet.CacheWaitFree)
+	if perThread <= shared {
+		t.Errorf("per-thread requests %d not greater than shared %d", perThread, shared)
+	}
+}

@@ -1,0 +1,91 @@
+package gadget_test
+
+import (
+	"math"
+	"testing"
+
+	"paratreet"
+	"paratreet/internal/baseline/gadget"
+	"paratreet/internal/knn"
+	"paratreet/internal/particle"
+	"paratreet/internal/sph"
+	"paratreet/internal/vec"
+)
+
+func TestConfigProfile(t *testing.T) {
+	cfg := gadget.Config(8, 16)
+	if cfg.Procs != 8 || cfg.WorkersPerProc != 1 {
+		t.Error("Gadget profile is pure MPI: one worker per process")
+	}
+}
+
+func TestDensityConvergesAndRoughlyMatchesKNN(t *testing.T) {
+	const n = 800
+	ps := particle.NewCosmological(n, 1, vec.UnitBox())
+	par := sph.Params{K: 16, Gamma: 5.0 / 3.0, U: 1}
+
+	// Reference: exact kNN density.
+	ref := particle.Clone(ps)
+	sph.BruteForceDensity(ref, par)
+	refByID := map[int64]float64{}
+	for i := range ref {
+		refByID[ref[i].ID] = ref[i].Density
+	}
+
+	sim, err := paratreet.NewSimulation[knn.Data](gadget.Config(3, 8),
+		knn.Accumulator{}, knn.Codec{}, particle.Clone(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	var res gadget.Result
+	driver := paratreet.DriverFuncs[knn.Data]{
+		TraversalFn: func(s *paratreet.Simulation[knn.Data], iter int) {
+			res = gadget.DensityIteration(s, par, 2, 30, 0.05)
+		},
+	}
+	if err := sim.Run(1, driver); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 2 {
+		t.Errorf("ball search converged in %d rounds; expected iteration", res.Rounds)
+	}
+	if res.Unconverged > n/100 {
+		t.Errorf("%d particles unconverged", res.Unconverged)
+	}
+	// Ball density targets K±tol neighbors instead of exactly K, so allow
+	// a generous band around the kNN reference.
+	bad := 0
+	for _, p := range sim.Particles() {
+		want := refByID[p.ID]
+		if want == 0 {
+			continue
+		}
+		ratio := p.Density / want
+		if math.IsNaN(ratio) || ratio < 0.5 || ratio > 2.0 {
+			bad++
+		}
+	}
+	if bad > n/20 {
+		t.Errorf("%d/%d densities far from kNN reference", bad, n)
+	}
+}
+
+func TestDriverRuns(t *testing.T) {
+	ps := particle.NewUniform(300, 2, vec.UnitBox())
+	sim, err := paratreet.NewSimulation[knn.Data](gadget.Config(2, 8),
+		knn.Accumulator{}, knn.Codec{}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(2, gadget.Driver(sph.Params{K: 8, Gamma: 5.0 / 3.0, U: 1}, 1, 20, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	// Second iteration seeds from previous smoothing lengths.
+	for _, p := range sim.Particles() {
+		if p.SmoothLen <= 0 {
+			t.Fatalf("particle %d has no smoothing length", p.ID)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package cache implements the paper's shared-memory software cache for
+// distributed tree traversals (§II-B): a single tree per process rather
+// than a hash table of node pointers, supporting parallel reads and writes
+// with no locking on the traversal path. Fetched remote subtrees are fully
+// wired before being published by one atomic child-pointer swap, and paused
+// traversals parked on lock-free waiter lists are resumed on the least busy
+// worker.
+//
+// Four insertion policies reproduce the paper's comparison (Fig 3):
+//
+//   - WaitFree: the paper's model — any worker inserts concurrently.
+//   - XWrite: every insertion holds a process-wide lock ("exclusive-write").
+//   - SingleWorker: all insertions are directed to worker 0 (an ablation of
+//     the "don't design thread-safe insertion" approach).
+//   - PerThread: every worker keeps a private cache of remote data, so no
+//     synchronization is needed but each worker misses and fetches
+//     independently — the "per-thread software cache" the paper evaluates
+//     under the name "Sequential", with its higher communication volume and
+//     memory footprint.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"paratreet/internal/rt"
+	"paratreet/internal/tree"
+)
+
+// Policy selects the cache insertion model.
+type Policy int
+
+const (
+	// WaitFree is the paper's shared-memory model.
+	WaitFree Policy = iota
+	// XWrite serializes insertions behind a process-wide mutex.
+	XWrite
+	// SingleWorker directs all insertions to worker 0.
+	SingleWorker
+	// PerThread gives each worker a private cache of remote data
+	// (the paper's "Sequential" comparison curve).
+	PerThread
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case WaitFree:
+		return "waitfree"
+	case XWrite:
+		return "xwrite"
+	case SingleWorker:
+		return "single-worker"
+	case PerThread:
+		return "per-thread"
+	default:
+		return "unknown"
+	}
+}
+
+// RequestMsg asks a node's home process for the node and its descendants.
+type RequestMsg struct {
+	Key       uint64
+	Requester int
+	View      int
+}
+
+// requestMsgBytes approximates the wire size of a request.
+const requestMsgBytes = 8 + 4 + 4
+
+// FillMsg carries a serialized subtree back to a requester.
+type FillMsg struct {
+	Key  uint64
+	View int
+	Blob []byte
+}
+
+// view is one cache tree: the whole process shares one view except under
+// PerThread, where each worker owns a view.
+type view[D any] struct {
+	root    *tree.Node[D]
+	pending sync.Map // key -> *tree.Node[D] placeholder with request in flight
+}
+
+// Cache is a process's software cache of the global tree.
+type Cache[D any] struct {
+	proc       *rt.Proc
+	policy     Policy
+	treeType   tree.Type
+	codec      tree.DataCodec[D]
+	fetchDepth int
+
+	// localRoots is the process-level hash table of local subtree roots
+	// (Fig 2, bottom left). It is written under rootsMu during tree build
+	// and read without locking during traversal.
+	rootsMu    sync.Mutex
+	localRoots map[uint64]*tree.Node[D]
+	sortedKeys []uint64
+
+	views []*view[D]
+
+	insertMu sync.Mutex // XWrite only
+}
+
+// New constructs a cache for proc. fetchDepth is the number of descendant
+// levels shipped per request (the paper's nodes-fetched-per-request knob).
+func New[D any](proc *rt.Proc, policy Policy, t tree.Type, codec tree.DataCodec[D], fetchDepth int) *Cache[D] {
+	if fetchDepth <= 0 {
+		fetchDepth = 3
+	}
+	nviews := 1
+	if policy == PerThread {
+		nviews = proc.NumWorkers()
+	}
+	c := &Cache[D]{
+		proc:       proc,
+		policy:     policy,
+		treeType:   t,
+		codec:      codec,
+		fetchDepth: fetchDepth,
+		localRoots: make(map[uint64]*tree.Node[D]),
+	}
+	for v := 0; v < nviews; v++ {
+		c.views = append(c.views, &view[D]{})
+	}
+	return c
+}
+
+// Policy returns the cache's insertion policy.
+func (c *Cache[D]) Policy() Policy { return c.policy }
+
+// TreeType returns the tree type the cache was built for.
+func (c *Cache[D]) TreeType() tree.Type { return c.treeType }
+
+// NumViews returns 1, or the worker count under PerThread.
+func (c *Cache[D]) NumViews() int { return len(c.views) }
+
+// ViewFor maps a worker id to its view id.
+func (c *Cache[D]) ViewFor(workerID int) int {
+	if c.policy == PerThread {
+		return workerID % len(c.views)
+	}
+	return 0
+}
+
+// RegisterLocal inserts a local subtree root into the process-level hash
+// table. Called during the tree build step; uses a lock there (but never
+// during traversal), exactly as in the paper.
+func (c *Cache[D]) RegisterLocal(n *tree.Node[D]) {
+	c.rootsMu.Lock()
+	defer c.rootsMu.Unlock()
+	c.localRoots[n.Key] = n
+	c.sortedKeys = append(c.sortedKeys, n.Key)
+	sort.Slice(c.sortedKeys, func(i, j int) bool { return c.sortedKeys[i] < c.sortedKeys[j] })
+}
+
+// LocalRoots returns the hash table of local subtree roots.
+func (c *Cache[D]) LocalRoots() map[uint64]*tree.Node[D] { return c.localRoots }
+
+// BuildViews constructs the process's top-tree view(s) from the broadcast
+// subtree-root summaries (the top-share step). Under PerThread each worker
+// gets an independent view with its own placeholders.
+func (c *Cache[D]) BuildViews(sums []tree.RootSummary, acc tree.Accumulator[D]) error {
+	for _, v := range c.views {
+		root, err := tree.BuildTop(sums, c.treeType, c.localRoots, c.codec, acc)
+		if err != nil {
+			return err
+		}
+		v.root = root
+	}
+	return nil
+}
+
+// Root returns the global-tree view for the given view id.
+func (c *Cache[D]) Root(viewID int) *tree.Node[D] { return c.views[viewID].root }
+
+// Reset drops all cached remote data and local registrations, for the next
+// iteration's rebuild.
+func (c *Cache[D]) Reset() {
+	c.rootsMu.Lock()
+	c.localRoots = make(map[uint64]*tree.Node[D])
+	c.sortedKeys = nil
+	c.rootsMu.Unlock()
+	for _, v := range c.views {
+		v.root = nil
+		v.pending = sync.Map{}
+	}
+}
+
+// Request ensures node n (a KindRemote or KindRemoteLeaf placeholder in
+// view viewID) is being fetched and registers resume to run once the fill
+// is published. It returns true if resume was parked; false means the fill
+// already landed — the caller re-reads the parent's child pointer and
+// continues inline without waiting.
+func (c *Cache[D]) Request(viewID int, n *tree.Node[D], resume func()) bool {
+	if !n.Waiters.Add(resume) {
+		return false
+	}
+	if n.TryRequest() {
+		v := c.views[viewID]
+		v.pending.Store(n.Key, n)
+		c.proc.Stats().NodeRequests.Add(1)
+		c.proc.Send(int(n.Owner), RequestMsg{Key: n.Key, Requester: c.proc.Rank(), View: viewID}, requestMsgBytes)
+	}
+	return true
+}
+
+// HandleRequest serves a remote request on the home process: locate the
+// node, serialize it with fetchDepth descendant levels, and ship the fill.
+// Runs on the communication goroutine.
+func (c *Cache[D]) HandleRequest(msg RequestMsg) error {
+	start := time.Now()
+	n := c.FindLocal(msg.Key)
+	if n == nil {
+		return fmt.Errorf("cache: request for unknown key %#x on rank %d", msg.Key, c.proc.Rank())
+	}
+	blob := tree.SerializeSubtree(n, c.fetchDepth, c.codec)
+	st := c.proc.Stats()
+	st.NodesShipped.Add(int64(countShipped(n, c.fetchDepth)))
+	st.ParticlesShipped.Add(int64(countParticlesShipped(n, c.fetchDepth)))
+	c.proc.Send(msg.Requester, FillMsg{Key: msg.Key, View: msg.View, Blob: blob}, len(blob))
+	c.proc.AddPhase(rt.PhaseCacheRequest, time.Since(start))
+	return nil
+}
+
+// HandleFill schedules cache insertion of an arriving fill according to the
+// policy; runs on the communication goroutine, which must stay responsive,
+// so the actual insertion is a worker task (least busy under WaitFree and
+// XWrite; worker 0 under SingleWorker; the owning worker under PerThread).
+func (c *Cache[D]) HandleFill(msg FillMsg) {
+	c.proc.Stats().Fills.Add(1)
+	insert := func() {
+		start := time.Now()
+		c.insert(msg)
+		c.proc.AddPhase(rt.PhaseCacheInsert, time.Since(start))
+	}
+	switch c.policy {
+	case SingleWorker:
+		c.proc.SubmitTo(0, insert)
+	case PerThread:
+		c.proc.SubmitTo(msg.View, insert)
+	default:
+		c.proc.Submit(insert)
+	}
+}
+
+// insert converts the collapsed fill into wired nodes (Step 2), checks the
+// local-roots hash table for re-entrant boundaries (Step 3), publishes the
+// subtree with an atomic swap of the placeholder (Step 4), and schedules
+// the paused traversals parked on it (Step 5).
+func (c *Cache[D]) insert(msg FillMsg) {
+	v := c.views[msg.View]
+	phAny, ok := v.pending.LoadAndDelete(msg.Key)
+	if !ok {
+		panic(fmt.Sprintf("cache: fill for key %#x with no pending request", msg.Key))
+	}
+	ph := phAny.(*tree.Node[D])
+
+	if c.policy == XWrite {
+		// Exclusive-write model: deserialization and splice both happen
+		// while holding the process-wide cache lock, as with a coarsely
+		// locked node table. Lock wait time is accounted.
+		waitStart := time.Now()
+		c.insertMu.Lock()
+		c.proc.Stats().LockWaitNanos.Add(int64(time.Since(waitStart)))
+		defer c.insertMu.Unlock()
+	}
+
+	fetched, err := tree.DeserializeSubtree(msg.Blob, c.treeType.LogB(), c.codec, c.localRoots)
+	if err != nil {
+		panic(fmt.Sprintf("cache: bad fill for key %#x: %v", msg.Key, err))
+	}
+	parent := ph.Parent
+	if parent == nil {
+		panic(fmt.Sprintf("cache: placeholder %#x has no parent", msg.Key))
+	}
+	idx := ph.ChildIndex(c.treeType.LogB())
+	if !parent.SwapChild(idx, ph, fetched) {
+		panic(fmt.Sprintf("cache: placeholder %#x swapped twice", msg.Key))
+	}
+	// Seal-and-drain: every continuation parked before the swap is resumed;
+	// racers that lose Add re-read the child pointer and proceed inline.
+	for _, resume := range ph.Waiters.Seal() {
+		c.proc.Submit(resume)
+	}
+}
+
+// FindLocal locates the local node with the given key by descending from
+// the owning local subtree root.
+func (c *Cache[D]) FindLocal(key uint64) *tree.Node[D] {
+	logB := c.treeType.LogB()
+	var root *tree.Node[D]
+	for _, rk := range c.sortedKeys {
+		if tree.IsAncestorKey(rk, key, logB) {
+			root = c.localRoots[rk]
+			break
+		}
+	}
+	if root == nil {
+		return nil
+	}
+	n := root
+	depth := tree.KeyLevel(key, logB) - root.Level
+	for d := depth - 1; d >= 0; d-- {
+		if n == nil || n.Kind().IsLeaf() {
+			return nil
+		}
+		idx := int(key>>(uint(d)*logB)) & (1<<logB - 1)
+		n = n.Child(idx)
+	}
+	return n
+}
+
+func countShipped[D any](n *tree.Node[D], depth int) int {
+	count := 1
+	if !n.Kind().IsLeaf() && depth > 0 {
+		for i := 0; i < n.NumChildren(); i++ {
+			count += countShipped(n.Child(i), depth-1)
+		}
+	}
+	return count
+}
+
+func countParticlesShipped[D any](n *tree.Node[D], depth int) int {
+	if n.Kind().IsLeaf() {
+		return len(n.Particles)
+	}
+	if depth == 0 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < n.NumChildren(); i++ {
+		total += countParticlesShipped(n.Child(i), depth-1)
+	}
+	return total
+}

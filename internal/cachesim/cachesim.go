@@ -1,0 +1,246 @@
+// Package cachesim is a trace-driven, set-associative, LRU, three-level
+// data-cache simulator standing in for the hardware performance counters
+// behind the paper's Table II. The geometry defaults to a Stampede2
+// Skylake-SP node as the paper describes it: 32KB L1D and 1MB L2 private
+// per CPU, a 33MB shared L3, 64-byte lines.
+//
+// Traces come from instrumented re-executions of the gravity traversal's
+// memory access pattern (see Trace): ParaTreeT's transposed loop versus
+// the per-bucket walk, over a deterministic arena address model.
+package cachesim
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Config is the cache hierarchy geometry.
+type Config struct {
+	LineSize int
+	L1Size   int
+	L1Assoc  int
+	L2Size   int
+	L2Assoc  int
+	L3Size   int
+	L3Assoc  int
+}
+
+// SKX returns the geometry of one Stampede2 SKX node's caches as listed in
+// Table II: 32KB L1D, 1024KB L2, 33MB shared L3.
+func SKX() Config {
+	return Config{
+		LineSize: 64,
+		L1Size:   32 << 10, L1Assoc: 8,
+		L2Size: 1 << 20, L2Assoc: 16,
+		L3Size: 33 << 20, L3Assoc: 11,
+	}
+}
+
+// level is one set-associative LRU cache.
+type level struct {
+	name     string
+	assoc    int
+	nsets    int
+	lineBits uint
+	tags     [][]uint64
+	valid    [][]bool
+	stamp    [][]int64
+	clock    int64
+
+	Loads, Stores           int64
+	LoadMisses, StoreMisses int64
+}
+
+func newLevel(name string, size, assoc, lineSize int) (*level, error) {
+	lines := size / lineSize
+	if lines == 0 || assoc <= 0 {
+		return nil, fmt.Errorf("cachesim: bad geometry for %s", name)
+	}
+	nsets := lines / assoc
+	if nsets == 0 {
+		nsets = 1
+		assoc = lines
+	}
+	l := &level{
+		name:     name,
+		assoc:    assoc,
+		nsets:    nsets,
+		lineBits: uint(bits.TrailingZeros(uint(lineSize))),
+	}
+	l.tags = make([][]uint64, nsets)
+	l.valid = make([][]bool, nsets)
+	l.stamp = make([][]int64, nsets)
+	for s := range l.tags {
+		l.tags[s] = make([]uint64, assoc)
+		l.valid[s] = make([]bool, assoc)
+		l.stamp[s] = make([]int64, assoc)
+	}
+	return l, nil
+}
+
+// access looks up (and on miss, fills) the line containing addr. It
+// returns true on hit.
+func (l *level) access(addr uint64, store bool) bool {
+	line := addr >> l.lineBits
+	set := int(line % uint64(l.nsets))
+	l.clock++
+	if store {
+		l.Stores++
+	} else {
+		l.Loads++
+	}
+	tags, valid, stamp := l.tags[set], l.valid[set], l.stamp[set]
+	victim, oldest := 0, int64(1<<62)
+	for w := 0; w < l.assoc; w++ {
+		if valid[w] && tags[w] == line {
+			stamp[w] = l.clock
+			return true
+		}
+		if !valid[w] {
+			victim, oldest = w, -1
+		} else if oldest >= 0 && stamp[w] < oldest {
+			victim, oldest = w, stamp[w]
+		}
+	}
+	if store {
+		l.StoreMisses++
+	} else {
+		l.LoadMisses++
+	}
+	tags[victim] = line
+	valid[victim] = true
+	stamp[victim] = l.clock
+	return false
+}
+
+// Stats is a read-only snapshot of one level's counters.
+type Stats struct {
+	Loads, Stores           int64
+	LoadMisses, StoreMisses int64
+}
+
+// LoadMissRate returns load misses / loads (0 when idle).
+func (s Stats) LoadMissRate() float64 {
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.LoadMisses) / float64(s.Loads)
+}
+
+// StoreMissRate returns store misses / stores (0 when idle).
+func (s Stats) StoreMissRate() float64 {
+	if s.Stores == 0 {
+		return 0
+	}
+	return float64(s.StoreMisses) / float64(s.Stores)
+}
+
+func (l *level) stats() Stats {
+	return Stats{Loads: l.Loads, Stores: l.Stores, LoadMisses: l.LoadMisses, StoreMisses: l.StoreMisses}
+}
+
+// CPU is one core's private L1D and L2, backed by the machine's shared L3.
+type CPU struct {
+	l1, l2 *level
+	m      *Machine
+}
+
+// Machine is a multi-core cache hierarchy.
+type Machine struct {
+	cfg  Config
+	cpus []*CPU
+	l3   *level
+	l3mu sync.Mutex
+}
+
+// NewMachine builds a hierarchy with ncpu cores.
+func NewMachine(ncpu int, cfg Config) (*Machine, error) {
+	if ncpu <= 0 {
+		return nil, fmt.Errorf("cachesim: ncpu must be positive")
+	}
+	l3, err := newLevel("L3", cfg.L3Size, cfg.L3Assoc, cfg.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, l3: l3}
+	for i := 0; i < ncpu; i++ {
+		l1, err := newLevel("L1D", cfg.L1Size, cfg.L1Assoc, cfg.LineSize)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := newLevel("L2", cfg.L2Size, cfg.L2Assoc, cfg.LineSize)
+		if err != nil {
+			return nil, err
+		}
+		m.cpus = append(m.cpus, &CPU{l1: l1, l2: l2, m: m})
+	}
+	return m, nil
+}
+
+// NumCPUs returns the core count.
+func (m *Machine) NumCPUs() int { return len(m.cpus) }
+
+// CPU returns core i.
+func (m *Machine) CPU(i int) *CPU { return m.cpus[i] }
+
+// Load records a load of size bytes at addr on the CPU, walking the
+// hierarchy line by line.
+func (c *CPU) Load(addr uint64, size int) { c.access(addr, size, false) }
+
+// Store records a store (write-allocate) of size bytes at addr.
+func (c *CPU) Store(addr uint64, size int) { c.access(addr, size, true) }
+
+func (c *CPU) access(addr uint64, size int, store bool) {
+	line := uint64(c.m.cfg.LineSize)
+	end := addr + uint64(size)
+	for a := addr &^ (line - 1); a < end; a += line {
+		if c.l1.access(a, store) {
+			continue
+		}
+		if c.l2.access(a, store) {
+			continue
+		}
+		c.m.l3mu.Lock()
+		c.m.l3.access(a, store)
+		c.m.l3mu.Unlock()
+	}
+}
+
+// LevelStats aggregates a level's counters across all CPUs
+// (level 1 = L1D, 2 = L2, 3 = shared L3).
+func (m *Machine) LevelStats(levelNum int) Stats {
+	var total Stats
+	switch levelNum {
+	case 1:
+		for _, c := range m.cpus {
+			s := c.l1.stats()
+			total.Loads += s.Loads
+			total.Stores += s.Stores
+			total.LoadMisses += s.LoadMisses
+			total.StoreMisses += s.StoreMisses
+		}
+	case 2:
+		for _, c := range m.cpus {
+			s := c.l2.stats()
+			total.Loads += s.Loads
+			total.Stores += s.Stores
+			total.LoadMisses += s.LoadMisses
+			total.StoreMisses += s.StoreMisses
+		}
+	case 3:
+		total = m.l3.stats()
+	}
+	return total
+}
+
+// CombinedL1L2StoreMissRate returns store misses that left L2, divided by
+// L1D stores — Table II's "(L1D & L2)" store miss-rate column.
+func (m *Machine) CombinedL1L2StoreMissRate() float64 {
+	l1 := m.LevelStats(1)
+	l2 := m.LevelStats(2)
+	if l1.Stores == 0 {
+		return 0
+	}
+	return float64(l2.StoreMisses) / float64(l1.Stores)
+}

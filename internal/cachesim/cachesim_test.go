@@ -1,0 +1,187 @@
+package cachesim
+
+import (
+	"testing"
+
+	"paratreet/internal/traverse"
+)
+
+func tiny() Config {
+	return Config{LineSize: 64, L1Size: 1 << 10, L1Assoc: 2, L2Size: 4 << 10, L2Assoc: 4, L3Size: 16 << 10, L3Assoc: 8}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	m, err := NewMachine(1, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := m.CPU(0)
+	cpu.Load(0x1000, 8)
+	s := m.LevelStats(1)
+	if s.Loads != 1 || s.LoadMisses != 1 {
+		t.Fatalf("cold access: %+v", s)
+	}
+	cpu.Load(0x1008, 8) // same line
+	s = m.LevelStats(1)
+	if s.Loads != 2 || s.LoadMisses != 1 {
+		t.Fatalf("same-line access should hit: %+v", s)
+	}
+	// The cold miss must have walked down to L3.
+	if m.LevelStats(2).LoadMisses != 1 || m.LevelStats(3).LoadMisses != 1 {
+		t.Error("miss did not propagate")
+	}
+}
+
+func TestMultiLineAccess(t *testing.T) {
+	m, _ := NewMachine(1, tiny())
+	m.CPU(0).Load(0x1000, 200) // spans 4 lines
+	if s := m.LevelStats(1); s.Loads != 4 {
+		t.Fatalf("200B load touched %d lines", s.Loads)
+	}
+	// Unaligned access crossing a boundary.
+	m2, _ := NewMachine(1, tiny())
+	m2.CPU(0).Load(0x103C, 8) // crosses 0x1040
+	if s := m2.LevelStats(1); s.Loads != 2 {
+		t.Fatalf("straddling load touched %d lines", s.Loads)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 1KB, 2-way, 64B lines -> 8 sets. Three lines mapping to set 0:
+	// addresses 0, 8*64, 16*64. Third access evicts the least recent.
+	m, _ := NewMachine(1, tiny())
+	cpu := m.CPU(0)
+	cpu.Load(0, 8)     // miss
+	cpu.Load(8*64, 8)  // miss, set full
+	cpu.Load(0, 8)     // hit, refreshes line 0
+	cpu.Load(16*64, 8) // miss, evicts 8*64
+	cpu.Load(0, 8)     // hit (survived)
+	cpu.Load(8*64, 8)  // miss (was evicted)
+	s := m.LevelStats(1)
+	if s.LoadMisses != 4 {
+		t.Fatalf("misses = %d, want 4 (%+v)", s.LoadMisses, s)
+	}
+}
+
+func TestStoreCounting(t *testing.T) {
+	m, _ := NewMachine(1, tiny())
+	cpu := m.CPU(0)
+	cpu.Store(0x2000, 8)
+	s := m.LevelStats(1)
+	if s.Stores != 1 || s.StoreMisses != 1 {
+		t.Fatalf("%+v", s)
+	}
+	cpu.Store(0x2000, 8)
+	if s := m.LevelStats(1); s.StoreMisses != 1 {
+		t.Error("second store should hit")
+	}
+	if m.CombinedL1L2StoreMissRate() <= 0 {
+		t.Error("combined store miss rate should be positive after cold store")
+	}
+}
+
+func TestPrivateL1SharedL3(t *testing.T) {
+	m, _ := NewMachine(2, tiny())
+	m.CPU(0).Load(0x3000, 8)
+	m.CPU(1).Load(0x3000, 8)
+	// Both CPUs cold-miss their private L1/L2, but the second hits shared L3.
+	if s := m.LevelStats(1); s.LoadMisses != 2 {
+		t.Fatalf("L1 misses %d", s.LoadMisses)
+	}
+	l3 := m.LevelStats(3)
+	if l3.Loads != 2 || l3.LoadMisses != 1 {
+		t.Fatalf("L3: %+v", l3)
+	}
+}
+
+func TestWorkingSetFitsCache(t *testing.T) {
+	// Repeatedly scanning a buffer smaller than L1 should converge to ~0
+	// miss rate; a buffer larger than L3 thrashes everything.
+	m, _ := NewMachine(1, tiny())
+	cpu := m.CPU(0)
+	for pass := 0; pass < 10; pass++ {
+		for a := uint64(0); a < 512; a += 64 {
+			cpu.Load(a, 8)
+		}
+	}
+	s := m.LevelStats(1)
+	if rate := s.LoadMissRate(); rate > 0.15 {
+		t.Errorf("small working set miss rate %.3f", rate)
+	}
+	m2, _ := NewMachine(1, tiny())
+	cpu2 := m2.CPU(0)
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 64<<10; a += 64 {
+			cpu2.Load(a, 8)
+		}
+	}
+	if rate := m2.LevelStats(1).LoadMissRate(); rate < 0.9 {
+		t.Errorf("thrashing working set miss rate %.3f", rate)
+	}
+}
+
+func TestBadGeometry(t *testing.T) {
+	if _, err := NewMachine(0, tiny()); err == nil {
+		t.Error("ncpu=0 should error")
+	}
+	bad := tiny()
+	bad.L1Size = 0
+	if _, err := NewMachine(1, bad); err == nil {
+		t.Error("zero cache should error")
+	}
+}
+
+func TestStatsRates(t *testing.T) {
+	var s Stats
+	if s.LoadMissRate() != 0 || s.StoreMissRate() != 0 {
+		t.Error("idle rates should be 0")
+	}
+	s = Stats{Loads: 10, LoadMisses: 1, Stores: 4, StoreMisses: 2}
+	if s.LoadMissRate() != 0.1 || s.StoreMissRate() != 0.5 {
+		t.Error("rates wrong")
+	}
+}
+
+func TestTraceGravityTableIIShape(t *testing.T) {
+	// The relational claims of Table II at small scale: the transposed
+	// traversal performs (far) fewer L1D loads and stores than the
+	// per-bucket walk, but its load miss *rate* is at least as high.
+	const n, bucket = 4000, 16
+	trans, err := TraceGravity(n, 2, bucket, traverse.Transposed, SKX(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := TraceGravity(n, 2, bucket, traverse.PerBucket, SKX(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trans.L1.Loads >= per.L1.Loads {
+		t.Errorf("transposed loads %d >= per-bucket %d", trans.L1.Loads, per.L1.Loads)
+	}
+	if trans.L1.Stores > per.L1.Stores {
+		t.Errorf("transposed stores %d > per-bucket %d", trans.L1.Stores, per.L1.Stores)
+	}
+	// Fewer total L1 misses for transposed would contradict nothing, but
+	// total traffic reaching L3 should also be lower for the compact
+	// working set.
+	if trans.L3.Loads >= per.L3.Loads*2 {
+		t.Errorf("transposed L3 traffic %d >> per-bucket %d", trans.L3.Loads, per.L3.Loads)
+	}
+	t.Logf("transposed: loads=%d stores=%d l1miss=%.3f%%", trans.L1.Loads, trans.L1.Stores, 100*trans.L1.LoadMissRate())
+	t.Logf("per-bucket: loads=%d stores=%d l1miss=%.3f%%", per.L1.Loads, per.L1.Stores, 100*per.L1.LoadMissRate())
+}
+
+func TestTraceGravityMoreCPUs(t *testing.T) {
+	r1, err := TraceGravity(2000, 1, 16, traverse.Transposed, SKX(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := TraceGravity(2000, 4, 16, traverse.Transposed, SKX(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total work is the same regardless of CPU count.
+	if diff := r4.L1.Loads - r1.L1.Loads; diff < -r1.L1.Loads/10 || diff > r1.L1.Loads/10 {
+		t.Errorf("total loads changed with CPU count: %d vs %d", r1.L1.Loads, r4.L1.Loads)
+	}
+}

@@ -1,0 +1,214 @@
+package cachesim
+
+import (
+	"paratreet/internal/gravity"
+	"paratreet/internal/particle"
+	"paratreet/internal/sfc"
+	"paratreet/internal/traverse"
+	"paratreet/internal/tree"
+	"paratreet/internal/vec"
+)
+
+// Arena address model: tree nodes and particles are laid out at
+// deterministic synthetic addresses in allocation (DFS build) order,
+// approximating the memory layout a real run produces. Sizes approximate
+// the real structs.
+const (
+	// compactNodeBytes is ParaTreeT's per-node working set: the Data
+	// abstraction keeps only the application's moments next to the key and
+	// box ("the Data abstraction drives a compact working set for each
+	// tree node").
+	compactNodeBytes = 128
+	// heavyNodeBytes is the ChaNGa-style node: moments, bounding boxes,
+	// type tags, and pointer sets for several traversal kinds.
+	heavyNodeBytes = 320
+	// nodeStride spaces nodes in the arena so either size fits.
+	nodeStride    = 320
+	particleBytes = 128 // the wire-record size rounded to lines
+	bucketBytes   = 64  // bucket header: key, box, slice header
+	arenaNodes    = uint64(1) << 40
+	arenaParts    = uint64(1) << 41
+	arenaTargets  = uint64(1) << 43
+)
+
+// layout maps tree nodes and particles to arena addresses.
+type layout struct {
+	node     map[*tree.Node[gravity.CentroidData]]uint64
+	nextNode uint64
+}
+
+func newLayout(root *tree.Node[gravity.CentroidData], ps []particle.Particle) *layout {
+	l := &layout{node: map[*tree.Node[gravity.CentroidData]]uint64{}}
+	// DFS order mirrors the recursive build's allocation order.
+	tree.Walk(root, func(n *tree.Node[gravity.CentroidData]) bool {
+		l.node[n] = arenaNodes + l.nextNode*nodeStride
+		l.nextNode++
+		return true
+	})
+	return l
+}
+
+// particleAddr exploits that every leaf's bucket is a contiguous subslice
+// of the build's particle array: address by the particle's index in SFC
+// order, which ID equals after renumbering in TraceGravity.
+func particleAddr(id int64) uint64 { return arenaParts + uint64(id)*particleBytes }
+
+// targetAddr is the partition-side copy of a particle (accelerations are
+// written there).
+func targetAddr(id int64) uint64 { return arenaTargets + uint64(id)*particleBytes }
+
+// TraceResult reports the simulated counters for one configuration.
+type TraceResult struct {
+	NCPU    int
+	Style   traverse.Style
+	L1, L2  Stats
+	L3      Stats
+	StoreL2 float64 // combined (L1D & L2) store miss rate
+}
+
+// TraceGravity rebuilds the paper's Table II experiment: an octree over n
+// uniformly distributed particles is traversed for Barnes-Hut gravity by
+// ncpu CPUs of a simulated SKX node, once in ParaTreeT's transposed style
+// and once per-bucket, emitting every data access into the cache
+// hierarchy. The bucket set is divided contiguously among CPUs, and CPUs
+// are interleaved bucket-group by bucket-group so the shared L3 sees mixed
+// traffic.
+func TraceGravity(n, ncpu, bucketSize int, style traverse.Style, cfg Config, theta float64) (TraceResult, error) {
+	box := vec.UnitBox()
+	ps := particle.NewUniform(n, 1234, box)
+	tree.AssignKeys(ps, box, sfc.MortonKey)
+	// Renumber IDs in SFC order so the address model is index-based.
+	for i := range ps {
+		ps[i].ID = int64(i)
+	}
+	root := tree.Build[gravity.CentroidData](ps, box.Cubed(), tree.RootKey, 0, tree.BuildConfig{
+		Type: tree.Octree, BucketSize: bucketSize,
+	})
+	tree.Accumulate[gravity.CentroidData](root, gravity.Accumulator{})
+	lay := newLayout(root, ps)
+
+	leaves := tree.Leaves(root, nil)
+	var buckets []*tree.Node[gravity.CentroidData]
+	for _, l := range leaves {
+		if l.Kind() == tree.KindLeaf {
+			buckets = append(buckets, l)
+		}
+	}
+
+	machine, err := NewMachine(ncpu, cfg)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	par := gravity.Params{G: 1, Theta: theta, Soft: 1e-3}
+
+	// Split buckets contiguously among CPUs; interleave execution in
+	// groups of 4 buckets so L3 sees concurrent-ish traffic.
+	perCPU := (len(buckets) + ncpu - 1) / ncpu
+	type cursor struct{ lo, hi, pos int }
+	cursors := make([]cursor, ncpu)
+	for c := 0; c < ncpu; c++ {
+		lo := c * perCPU
+		hi := lo + perCPU
+		if hi > len(buckets) {
+			hi = len(buckets)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		cursors[c] = cursor{lo: lo, hi: hi, pos: lo}
+	}
+	const group = 4
+	for remaining := true; remaining; {
+		remaining = false
+		for c := 0; c < ncpu; c++ {
+			cur := &cursors[c]
+			end := cur.pos + group
+			if end > cur.hi {
+				end = cur.hi
+			}
+			if cur.pos < end {
+				traceCPU(machine.CPU(c), root, buckets[cur.pos:end], lay, par, style)
+				cur.pos = end
+			}
+			if cur.pos < cur.hi {
+				remaining = true
+			}
+		}
+	}
+
+	return TraceResult{
+		NCPU: ncpu, Style: style,
+		L1: machine.LevelStats(1), L2: machine.LevelStats(2), L3: machine.LevelStats(3),
+		StoreL2: machine.CombinedL1L2StoreMissRate(),
+	}, nil
+}
+
+// traceCPU emits the memory accesses of traversing the tree for the given
+// target buckets in the chosen style.
+func traceCPU(cpu *CPU, root *tree.Node[gravity.CentroidData], targets []*tree.Node[gravity.CentroidData], lay *layout, par gravity.Params, style traverse.Style) {
+	if style == traverse.PerBucket {
+		for _, b := range targets {
+			walkNode(cpu, root, []*tree.Node[gravity.CentroidData]{b}, lay, par, heavyNodeBytes)
+		}
+		return
+	}
+	walkNode(cpu, root, targets, lay, par, compactNodeBytes)
+}
+
+// walkNode mirrors the transposed traversal: evaluate this node against
+// every active bucket, then recurse with the buckets that opened it.
+func walkNode(cpu *CPU, n *tree.Node[gravity.CentroidData], active []*tree.Node[gravity.CentroidData], lay *layout, par gravity.Params, nodeBytes int) {
+	// Read the node header + moments once per visit.
+	cpu.Load(lay.node[n], nodeBytes)
+	c := n.Data.Centroid()
+	bmaxSq := n.Box.FarDistSq(c)
+	rsq := bmaxSq / (par.Theta * par.Theta)
+
+	if n.Kind().IsLeaf() {
+		for _, b := range active {
+			cpu.Load(lay.node[b], bucketBytes) // bucket header
+			if !b.Box.IntersectsSphere(c, rsq) {
+				nodeInteraction(cpu, n, b)
+				continue
+			}
+			// Exact: read every source particle once per target particle
+			// (the inner loop re-reads source positions; they stay hot in
+			// L1 when small), write each target's acceleration.
+			for i := range b.Particles {
+				for j := range n.Particles {
+					cpu.Load(particleAddr(n.Particles[j].ID), 32) // pos+mass
+				}
+				cpu.Load(targetAddr(b.Particles[i].ID), 32)
+				cpu.Store(targetAddr(b.Particles[i].ID)+64, 24) // acc
+			}
+		}
+		return
+	}
+	var remain []*tree.Node[gravity.CentroidData]
+	for _, b := range active {
+		cpu.Load(lay.node[b], bucketBytes)
+		if b.Box.IntersectsSphere(c, rsq) {
+			remain = append(remain, b)
+		} else {
+			nodeInteraction(cpu, n, b)
+		}
+	}
+	if len(remain) == 0 {
+		return
+	}
+	for i := 0; i < n.NumChildren(); i++ {
+		if ch := n.Child(i); ch != nil {
+			walkNode(cpu, ch, remain, lay, par, nodeBytes)
+		}
+	}
+}
+
+// nodeInteraction emits the multipole-approximation accesses: node moments
+// are already hot (just loaded); per target particle, one position load
+// and one acceleration store.
+func nodeInteraction(cpu *CPU, n *tree.Node[gravity.CentroidData], b *tree.Node[gravity.CentroidData]) {
+	for i := range b.Particles {
+		cpu.Load(targetAddr(b.Particles[i].ID), 32)
+		cpu.Store(targetAddr(b.Particles[i].ID)+64, 24)
+	}
+}

@@ -1,0 +1,257 @@
+package collision_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"paratreet"
+	"paratreet/internal/collision"
+	"paratreet/internal/gravity"
+	"paratreet/internal/particle"
+	"paratreet/internal/vec"
+)
+
+func TestAccumulatorMaxFields(t *testing.T) {
+	ps := []particle.Particle{
+		{Radius: 0.1, Vel: vec.V(1, 0, 0)},
+		{Radius: 0.3, Vel: vec.V(0, 2, 0)},
+	}
+	d := collision.Accumulator{}.FromLeaf(ps, vec.UnitBox())
+	if d.N != 2 || d.MaxRadius != 0.3 || d.MaxSpeed != 2 {
+		t.Errorf("%+v", d)
+	}
+	sum := collision.Accumulator{}.Add(d, collision.Data{N: 1, MaxRadius: 0.5, MaxSpeed: 1})
+	if sum.N != 3 || sum.MaxRadius != 0.5 || sum.MaxSpeed != 2 {
+		t.Errorf("%+v", sum)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	d := collision.Data{N: 7, MaxRadius: 0.25, MaxSpeed: 3.5}
+	blob := collision.Codec{}.AppendData(nil, d)
+	got, used := collision.Codec{}.DecodeData(blob)
+	if used != len(blob) || got != d {
+		t.Error("round trip failed")
+	}
+	dd := collision.DiskData{Grav: gravity.CentroidData{Mass: 2}, Coll: d}
+	blob2 := collision.DiskCodec{}.AppendData(nil, dd)
+	got2, used2 := collision.DiskCodec{}.DecodeData(blob2)
+	if used2 != len(blob2) || got2 != dd {
+		t.Error("disk round trip failed")
+	}
+}
+
+func TestRecorderDedupes(t *testing.T) {
+	rec := collision.NewRecorder()
+	rec.Record(collision.Event{A: 1, B: 2})
+	rec.Record(collision.Event{A: 2, B: 1})
+	rec.Record(collision.Event{A: 1, B: 3})
+	if rec.Count() != 2 {
+		t.Errorf("count %d", rec.Count())
+	}
+}
+
+func TestOrbitalPeriod(t *testing.T) {
+	// Circular orbit at r=1 around unit mass: period 2*pi.
+	p := particle.Particle{Pos: vec.V(1, 0, 0), Vel: vec.V(0, 1, 0)}
+	if got := collision.OrbitalPeriod(&p, 1); math.Abs(got-2*math.Pi) > 1e-12 {
+		t.Errorf("period %v", got)
+	}
+	// Unbound orbit.
+	fast := particle.Particle{Pos: vec.V(1, 0, 0), Vel: vec.V(0, 2, 0)}
+	if collision.OrbitalPeriod(&fast, 1) != 0 {
+		t.Error("unbound orbit should have period 0")
+	}
+	at0 := particle.Particle{}
+	if collision.OrbitalPeriod(&at0, 1) != 0 {
+		t.Error("degenerate orbit should have period 0")
+	}
+}
+
+func TestResonanceRadii(t *testing.T) {
+	// The paper's resonances for Jupiter at 5.2 AU: 3:1 at 2.50, 2:1 at
+	// 3.27, 5:3 at 3.70.
+	cases := []struct {
+		j, k int
+		want float64
+	}{
+		{3, 1, 2.50}, {2, 1, 3.27}, {5, 3, 3.70},
+	}
+	for _, c := range cases {
+		got := collision.ResonanceRadius(5.2, c.j, c.k)
+		if math.Abs(got-c.want) > 0.01 {
+			t.Errorf("%d:%d resonance at %.3f AU, want %.2f", c.j, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBruteForcePairs(t *testing.T) {
+	ps := []particle.Particle{
+		{ID: 2, Radius: 0.1, Pos: vec.V(0, 0, 0)},
+		{ID: 3, Radius: 0.1, Pos: vec.V(0.15, 0, 0)}, // overlaps 2
+		{ID: 4, Radius: 0.1, Pos: vec.V(1, 0, 0)},    // isolated
+		{ID: 5, Radius: 0.1, Pos: vec.V(1.05, 0, 0)}, // overlaps 4
+	}
+	pairs := collision.BruteForce(ps, 0, 2)
+	want := [][2]int64{{2, 3}, {4, 5}}
+	if len(pairs) != 2 || pairs[0] != want[0] || pairs[1] != want[1] {
+		t.Errorf("pairs %v", pairs)
+	}
+	// Sweep test: two separated but fast-approaching bodies.
+	moving := []particle.Particle{
+		{ID: 2, Radius: 0.01, Pos: vec.V(0, 0, 0), Vel: vec.V(1, 0, 0)},
+		{ID: 3, Radius: 0.01, Pos: vec.V(0.5, 0, 0), Vel: vec.V(-1, 0, 0)},
+	}
+	if got := collision.BruteForce(moving, 0.3, 2); len(got) != 1 {
+		t.Errorf("sweep should detect approaching pair, got %v", got)
+	}
+	if got := collision.BruteForce(moving, 0.01, 2); len(got) != 0 {
+		t.Errorf("short step should not detect, got %v", got)
+	}
+}
+
+// runFrameworkCollisions detects collisions through the framework.
+func runFrameworkCollisions(t *testing.T, ps []particle.Particle, dt float64, procs int) [][2]int64 {
+	t.Helper()
+	sim, err := paratreet.NewSimulation[collision.Data](paratreet.Config{
+		Procs: procs, WorkersPerProc: 2,
+		Tree: paratreet.TreeLongestDim, Decomp: paratreet.DecompORB, BucketSize: 8,
+	}, collision.Accumulator{}, collision.Codec{}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	rec := collision.NewRecorder()
+	driver := paratreet.DriverFuncs[collision.Data]{
+		TraversalFn: func(s *paratreet.Simulation[collision.Data], iter int) {
+			for _, p := range s.Partitions() {
+				collision.Attach(p.Buckets())
+			}
+			paratreet.StartDown(s, func(p *paratreet.Partition[collision.Data]) collision.Visitor[collision.Data] {
+				return collision.New(dt, 1, rec, 2)
+			})
+		},
+	}
+	if err := sim.Run(1, driver); err != nil {
+		t.Fatal(err)
+	}
+	var pairs [][2]int64
+	for _, e := range rec.Events {
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		pairs = append(pairs, [2]int64{a, b})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return pairs
+}
+
+func TestFrameworkMatchesBruteForce(t *testing.T) {
+	// A thin disk with inflated radii so a handful of overlaps exist.
+	dp := particle.DefaultDiskParams()
+	dp.BodyRadius = 0.01
+	ps := particle.NewDisk(2000, 42, dp)
+	dt := 0.05
+	want := collision.BruteForce(ps, dt, 2)
+	if len(want) == 0 {
+		t.Fatal("test setup: no collisions in reference")
+	}
+	got := runFrameworkCollisions(t, particle.Clone(ps), dt, 3)
+	if len(got) != len(want) {
+		t.Fatalf("found %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	events := []collision.Event{
+		{R: 2.1, Period: 10}, {R: 2.2, Period: 11}, {R: 4.4, Period: 30},
+		{R: 99, Period: -5}, // out of range both ways
+	}
+	h := collision.Histogram(events, 2, 4.5, 5)
+	if h[0] != 2 {
+		t.Errorf("first bin %d", h[0])
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("binned %d events", total)
+	}
+	ph := collision.PeriodHistogram(events, 0, 40, 4)
+	ptotal := 0
+	for _, c := range ph {
+		ptotal += c
+	}
+	if ptotal != 3 {
+		t.Errorf("period binned %d", ptotal)
+	}
+	if len(collision.Histogram(nil, 1, 0, 3)) != 3 {
+		t.Error("degenerate range should return zero bins")
+	}
+}
+
+func TestDiskVisitorsCompose(t *testing.T) {
+	// One integration step of a small disk through the combined DiskData:
+	// gravity + collision detection over one tree, then leapfrog. The star
+	// must dominate the dynamics: planetesimals stay on near-circular
+	// orbits after a few steps.
+	dp := particle.DefaultDiskParams()
+	ps := particle.NewDisk(500, 7, dp)
+	sim, err := paratreet.NewSimulation[collision.DiskData](paratreet.Config{
+		Procs: 2, WorkersPerProc: 2,
+		Tree: paratreet.TreeLongestDim, Decomp: paratreet.DecompORB, BucketSize: 16,
+	}, collision.DiskAccumulator{}, collision.DiskCodec{}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	rec := collision.NewRecorder()
+	dt := 0.002
+	gp := gravity.Params{G: 1, Theta: 0.6, Soft: 1e-5}
+	driver := paratreet.DriverFuncs[collision.DiskData]{
+		TraversalFn: func(s *paratreet.Simulation[collision.DiskData], iter int) {
+			s.ForEachBucket(func(p *paratreet.Partition[collision.DiskData], b *paratreet.Bucket) {
+				particle.ResetAcc(b.Particles)
+			})
+			for _, p := range s.Partitions() {
+				collision.Attach(p.Buckets())
+			}
+			paratreet.StartDown(s, func(p *paratreet.Partition[collision.DiskData]) gravity.Visitor[collision.DiskData] {
+				return collision.DiskGravityVisitor(gp)
+			})
+			paratreet.StartDown(s, func(p *paratreet.Partition[collision.DiskData]) collision.Visitor[collision.DiskData] {
+				return collision.DiskCollisionVisitor(dt, dp.StarMass, rec, 2)
+			})
+		},
+		PostTraversalFn: func(s *paratreet.Simulation[collision.DiskData], iter int) {
+			s.ForEachBucket(func(p *paratreet.Partition[collision.DiskData], b *paratreet.Bucket) {
+				gravity.KickDrift(b.Particles, dt)
+			})
+		},
+	}
+	if err := sim.Run(5, driver); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sim.Particles() {
+		if p.ID < 2 {
+			continue
+		}
+		r := math.Hypot(p.Pos.X, p.Pos.Y)
+		if r < dp.RMin*0.8 || r > dp.RMax*1.2 {
+			t.Fatalf("planetesimal %d drifted to r=%v after 5 steps", p.ID, r)
+		}
+	}
+}

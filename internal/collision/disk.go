@@ -1,0 +1,65 @@
+package collision
+
+import (
+	"paratreet/internal/gravity"
+	"paratreet/internal/particle"
+	"paratreet/internal/vec"
+)
+
+// DiskData adorns tree nodes with both gravity moments and collision
+// bounds, so the planetesimal-disk case study runs its two traversals
+// (Barnes-Hut forces, collision sweep) over one tree build per step.
+type DiskData struct {
+	Grav gravity.CentroidData
+	Coll Data
+}
+
+// DiskAccumulator implements the Data abstraction for DiskData.
+type DiskAccumulator struct{}
+
+// FromLeaf implements tree.Accumulator.
+func (DiskAccumulator) FromLeaf(ps []particle.Particle, box vec.Box) DiskData {
+	return DiskData{
+		Grav: gravity.Accumulator{}.FromLeaf(ps, box),
+		Coll: Accumulator{}.FromLeaf(ps, box),
+	}
+}
+
+// Empty implements tree.Accumulator.
+func (DiskAccumulator) Empty() DiskData { return DiskData{} }
+
+// Add implements tree.Accumulator.
+func (DiskAccumulator) Add(a, b DiskData) DiskData {
+	return DiskData{
+		Grav: gravity.Accumulator{}.Add(a.Grav, b.Grav),
+		Coll: Accumulator{}.Add(a.Coll, b.Coll),
+	}
+}
+
+// DiskCodec serializes DiskData.
+type DiskCodec struct{}
+
+// AppendData implements tree.DataCodec.
+func (DiskCodec) AppendData(dst []byte, d DiskData) []byte {
+	dst = gravity.Codec{}.AppendData(dst, d.Grav)
+	return Codec{}.AppendData(dst, d.Coll)
+}
+
+// DecodeData implements tree.DataCodec.
+func (DiskCodec) DecodeData(b []byte) (DiskData, int) {
+	g, n1 := gravity.Codec{}.DecodeData(b)
+	c, n2 := Codec{}.DecodeData(b[n1:])
+	return DiskData{Grav: g, Coll: c}, n1 + n2
+}
+
+// DiskGravityVisitor returns the gravity visitor instantiated for DiskData.
+func DiskGravityVisitor(p gravity.Params) gravity.Visitor[DiskData] {
+	return gravity.Visitor[DiskData]{P: p, Get: func(d *DiskData) *gravity.CentroidData { return &d.Grav }}
+}
+
+// DiskCollisionVisitor returns the collision visitor instantiated for
+// DiskData.
+func DiskCollisionVisitor(dt, starMass float64, rec *Recorder, minID int64) Visitor[DiskData] {
+	return Visitor[DiskData]{Dt: dt, StarMass: starMass, Rec: rec, MinID: minID,
+		Get: func(d *DiskData) *Data { return &d.Coll }}
+}

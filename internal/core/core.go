@@ -1,0 +1,490 @@
+// Package core implements the Partitions-Subtrees model (§II-C), the
+// framework's central structural contribution: particles are decomposed
+// twice, once into Partitions that own buckets (load) and once into
+// Subtrees that own tree segments (memory), with independent strategies.
+// After Subtrees build their pieces of the global tree, the leaf-sharing
+// step hands each leaf's particles to the Partitions that own them —
+// splitting only buckets, never tree paths, at partition borders.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paratreet/internal/cache"
+	"paratreet/internal/decomp"
+	"paratreet/internal/particle"
+	"paratreet/internal/rt"
+	"paratreet/internal/sfc"
+	"paratreet/internal/traverse"
+	"paratreet/internal/tree"
+	"paratreet/internal/vec"
+)
+
+// Partition owns a slice of the particle load as a set of buckets. It is
+// the unit of traversal work and of load balancing (a chare in the
+// original system).
+type Partition[D any] struct {
+	// ID is the partition's index, in decomposition (SFC) order.
+	ID int
+	// Home is the rank of the process currently hosting the partition.
+	Home int
+	// LoadNanos is the measured traversal work of the previous iteration,
+	// consumed by the load balancers.
+	LoadNanos int64
+
+	mu      sync.Mutex
+	buckets []*traverse.Bucket
+}
+
+// AddBucket appends a bucket (called during leaf sharing, possibly from
+// several subtree build tasks and the communication goroutine).
+func (p *Partition[D]) AddBucket(b *traverse.Bucket) {
+	p.mu.Lock()
+	p.buckets = append(p.buckets, b)
+	p.mu.Unlock()
+}
+
+// Buckets returns the partition's buckets. Only call after leaf sharing
+// has quiesced.
+func (p *Partition[D]) Buckets() []*traverse.Bucket { return p.buckets }
+
+// NumParticles counts the partition's particles.
+func (p *Partition[D]) NumParticles() int {
+	n := 0
+	for _, b := range p.buckets {
+		n += len(b.Particles)
+	}
+	return n
+}
+
+// Subtree owns one segment of the global tree and the particles within it.
+type Subtree[D any] struct {
+	Key       uint64
+	Level     int
+	Box       vec.Box
+	Owner     int
+	Particles []particle.Particle
+	Root      *tree.Node[D]
+}
+
+// bucketMsg carries a split-off bucket to a remote partition's home
+// process during leaf sharing.
+type bucketMsg struct {
+	PartitionID int
+	Key         uint64
+	Box         vec.Box
+	Home        int
+	Blob        []byte
+}
+
+// RawMsg is an application-defined message routed through the world's
+// dispatcher to the handler registered with SetRawHandler — used by
+// baseline emulations (e.g. ChaNGa's branch-node merge) that need real
+// wire traffic outside the cache protocol.
+type RawMsg struct {
+	Tag  string
+	Blob []byte
+}
+
+// Config parameterizes one iteration's build.
+type Config struct {
+	TreeType    tree.Type
+	DecompType  decomp.Type
+	BucketSize  int
+	Partitions  int
+	Subtrees    int
+	FetchDepth  int
+	CachePolicy cache.Policy
+	// ShareDepth is how many levels below each subtree root are broadcast
+	// to every process during the top-share step (the paper's branch-node
+	// sharing hyperparameter). 0 shares only the root summaries.
+	ShareDepth int
+}
+
+// WithDefaults fills unset fields based on the machine size.
+func (c Config) WithDefaults(nprocs int) Config {
+	if c.BucketSize <= 0 {
+		c.BucketSize = 16
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8 * nprocs
+	}
+	if c.Subtrees <= 0 {
+		c.Subtrees = 4 * nprocs
+	}
+	if nprocs > 1 && c.Subtrees < 2 {
+		// A single subtree would make a remote process's entire view one
+		// parentless remote node, which traversals cannot fetch through.
+		c.Subtrees = 2
+	}
+	if c.FetchDepth <= 0 {
+		c.FetchDepth = 3
+	}
+	return c
+}
+
+// World is the per-machine state of the Partitions-Subtrees model: the
+// caches, partitions, and subtrees of the current iteration.
+type World[D any] struct {
+	Machine    *rt.Machine
+	Caches     []*cache.Cache[D]
+	Partitions []*Partition[D]
+	Subtrees   []*Subtree[D]
+
+	cfg   Config
+	acc   tree.Accumulator[D]
+	codec tree.DataCodec[D]
+
+	// Universe is the current global bounding box.
+	Universe vec.Box
+
+	// LeafShareTime is the wall time of the last leaf-sharing step; the
+	// paper reports it as 0.1-0.4% of iteration time.
+	LeafShareTime time.Duration
+	// BuildTime is the wall time of the last decomposition + tree build.
+	BuildTime time.Duration
+	// SplitBuckets counts buckets split across partition borders.
+	SplitBuckets int
+	// BroadcastBytes is the top-share broadcast volume of the last
+	// iteration (summary + shared-branch bytes to every other process).
+	BroadcastBytes int
+
+	homes []int // partition -> proc placement
+
+	rawHandler atomic.Pointer[func(self, from int, msg RawMsg)]
+}
+
+// SetRawHandler registers the consumer of RawMsg traffic; self is the
+// receiving rank.
+func (w *World[D]) SetRawHandler(fn func(self, from int, msg RawMsg)) {
+	w.rawHandler.Store(&fn)
+}
+
+// SendRaw ships a RawMsg from rank `from` to rank `to` through the
+// machine, with full communication accounting.
+func (w *World[D]) SendRaw(from, to int, msg RawMsg) {
+	w.Machine.Proc(from).Send(to, msg, len(msg.Blob)+len(msg.Tag)+16)
+}
+
+// NewWorld creates the per-process caches and installs message dispatchers
+// on the machine. One World drives many iterations.
+func NewWorld[D any](m *rt.Machine, cfg Config, acc tree.Accumulator[D], codec tree.DataCodec[D]) *World[D] {
+	cfg = cfg.WithDefaults(m.NumProcs())
+	w := &World[D]{Machine: m, cfg: cfg, acc: acc, codec: codec}
+	for r := 0; r < m.NumProcs(); r++ {
+		c := cache.New[D](m.Proc(r), cfg.CachePolicy, cfg.TreeType, codec, cfg.FetchDepth)
+		w.Caches = append(w.Caches, c)
+		proc := m.Proc(r)
+		proc.SetDispatcher(func(from int, payload any) {
+			switch msg := payload.(type) {
+			case cache.RequestMsg:
+				if err := c.HandleRequest(msg); err != nil {
+					panic(err)
+				}
+			case cache.FillMsg:
+				c.HandleFill(msg)
+			case bucketMsg:
+				w.receiveBucket(msg)
+			case RawMsg:
+				if h := w.rawHandler.Load(); h != nil {
+					(*h)(proc.Rank(), from, msg)
+				}
+			default:
+				panic(fmt.Sprintf("core: unknown message %T", payload))
+			}
+		})
+	}
+	w.homes = make([]int, cfg.Partitions)
+	for i := range w.homes {
+		w.homes[i] = i * m.NumProcs() / cfg.Partitions
+	}
+	return w
+}
+
+// Config returns the world's (defaulted) configuration.
+func (w *World[D]) Config() Config { return w.cfg }
+
+// SetHomes overrides partition placement (used by the load balancers).
+// The slice must have one entry per partition.
+func (w *World[D]) SetHomes(homes []int) error {
+	if len(homes) != w.cfg.Partitions {
+		return fmt.Errorf("core: %d homes for %d partitions", len(homes), w.cfg.Partitions)
+	}
+	for _, h := range homes {
+		if h < 0 || h >= w.Machine.NumProcs() {
+			return fmt.Errorf("core: home %d out of range", h)
+		}
+	}
+	w.homes = homes
+	return nil
+}
+
+// Homes returns the current partition placement.
+func (w *World[D]) Homes() []int { return w.homes }
+
+// BuildIteration runs the full pre-traversal pipeline on ps: universe
+// reduction, key assignment, the two decompositions, parallel subtree
+// builds, the top-share step, and leaf sharing. ps is reordered. After it
+// returns, every partition holds its buckets and every cache presents its
+// view of the global tree.
+func (w *World[D]) BuildIteration(ps []particle.Particle) error {
+	buildStart := time.Now()
+	m := w.Machine
+	nprocs := m.NumProcs()
+
+	// 1. Universe reduction: the global bounding box, padded so boundary
+	// particles stay interior, cubed for octrees so octants keep unit
+	// aspect ratio.
+	universe := particle.BoundingBox(ps).Pad(1e-9)
+	if w.cfg.TreeType == tree.Octree {
+		universe = universe.Cubed()
+	}
+	w.Universe = universe
+
+	// 2. Key assignment and sort along the decomposition's curve.
+	curve := w.cfg.DecompType.Curve()
+	tree.AssignKeys(ps, universe, func(p vec.Vec3, b vec.Box) uint64 { return sfc.Key(curve, p, b) })
+
+	// 3. Partition decomposition (load): mark every particle.
+	if _, err := decomp.Assign(w.cfg.DecompType, ps, universe, w.cfg.Partitions); err != nil {
+		return err
+	}
+
+	// 4. Subtree decomposition (memory), consistent with the tree type.
+	var splits decomp.Splitters
+	if w.cfg.TreeType == tree.Octree {
+		// Octree subtrees need Morton keys; re-key if the partition
+		// decomposition used a different curve or reordered particles.
+		if curve != sfc.Morton || !particle.KeysSorted(ps) {
+			tree.AssignKeys(ps, universe, sfc.MortonKey)
+		}
+		splits = decomp.OctSplitters(ps, universe, w.cfg.Subtrees)
+	} else {
+		splits = decomp.MedianSplitters(ps, universe, w.cfg.Subtrees, w.cfg.TreeType)
+	}
+	if err := splits.Validate(len(ps), w.cfg.TreeType.LogB()); err != nil {
+		return err
+	}
+
+	// 5. Create subtrees (skipping empty ranges — absent children become
+	// empty leaves in the shared top tree) and build them in parallel on
+	// their owners.
+	w.Subtrees = w.Subtrees[:0]
+	w.Partitions = make([]*Partition[D], w.cfg.Partitions)
+	for i := range w.Partitions {
+		w.Partitions[i] = &Partition[D]{ID: i, Home: w.homes[i]}
+	}
+	for _, c := range w.Caches {
+		c.Reset()
+	}
+	for i := 0; i < splits.Len(); i++ {
+		lo, hi := splits.Ranges[i][0], splits.Ranges[i][1]
+		if hi == lo {
+			continue
+		}
+		w.Subtrees = append(w.Subtrees, &Subtree[D]{
+			Key:   splits.Keys[i],
+			Level: splits.Levels[i],
+			Box:   splits.Boxes[i],
+			// The particle exchange: the owner receives its subtree's
+			// particles (block placement assigned below once the
+			// non-empty count is known).
+			Particles: particle.Clone(ps[lo:hi]),
+		})
+	}
+	for i, st := range w.Subtrees {
+		st.Owner = i * nprocs / len(w.Subtrees)
+	}
+
+	var wg sync.WaitGroup
+	for _, st := range w.Subtrees {
+		st := st
+		wg.Add(1)
+		m.Proc(st.Owner).Submit(func() {
+			defer wg.Done()
+			m.Proc(st.Owner).TimePhase(rt.PhaseTreeBuild, func() {
+				st.Root = tree.Build[D](st.Particles, st.Box, st.Key, st.Level, tree.BuildConfig{
+					Type:       w.cfg.TreeType,
+					BucketSize: w.cfg.BucketSize,
+					Owner:      int32(st.Owner),
+				})
+				tree.Accumulate(st.Root, w.acc)
+				w.Caches[st.Owner].RegisterLocal(st.Root)
+			})
+		})
+	}
+	wg.Wait()
+	m.WaitQuiescence()
+
+	// 6. Top share: broadcast subtree-root summaries; every process builds
+	// its view(s) of the top of the global tree.
+	sums := make([]tree.RootSummary, len(w.Subtrees))
+	w.BroadcastBytes = 0
+	for i, st := range w.Subtrees {
+		sums[i] = tree.SummarizeDepth(st.Root, w.codec, w.cfg.ShareDepth)
+		w.BroadcastBytes += (len(sums[i].Data) + len(sums[i].Tree) + 64) * (nprocs - 1)
+	}
+	var topErr error
+	var topMu sync.Mutex
+	for r := 0; r < nprocs; r++ {
+		r := r
+		wg.Add(1)
+		m.Proc(r).Submit(func() {
+			defer wg.Done()
+			m.Proc(r).TimePhase(rt.PhaseTopShare, func() {
+				if err := w.Caches[r].BuildViews(sums, w.acc); err != nil {
+					topMu.Lock()
+					topErr = err
+					topMu.Unlock()
+				}
+			})
+		})
+	}
+	wg.Wait()
+	m.WaitQuiescence()
+	if topErr != nil {
+		return topErr
+	}
+	w.BuildTime = time.Since(buildStart)
+
+	// 7. Leaf sharing.
+	return w.leafShare()
+}
+
+// leafShare walks every subtree's leaves on its owner and hands bucket
+// copies to the owning partitions: directly for partitions hosted on the
+// same process, by message otherwise. Buckets whose particles span several
+// partitions are split into per-partition local buckets (Fig 5).
+func (w *World[D]) leafShare() error {
+	start := time.Now()
+	m := w.Machine
+	var splitCount, totalBuckets int64
+	var countMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, st := range w.Subtrees {
+		st := st
+		wg.Add(1)
+		m.Proc(st.Owner).Submit(func() {
+			defer wg.Done()
+			m.Proc(st.Owner).TimePhase(rt.PhaseLeafShare, func() {
+				splits, buckets := w.shareSubtreeLeaves(st)
+				countMu.Lock()
+				splitCount += splits
+				totalBuckets += buckets
+				countMu.Unlock()
+			})
+		})
+	}
+	wg.Wait()
+	m.WaitQuiescence()
+	w.SplitBuckets = int(splitCount)
+	w.LeafShareTime = time.Since(start)
+	_ = totalBuckets
+	return nil
+}
+
+// shareSubtreeLeaves processes one subtree, returning (split buckets,
+// total buckets emitted).
+func (w *World[D]) shareSubtreeLeaves(st *Subtree[D]) (splits, buckets int64) {
+	proc := w.Machine.Proc(st.Owner)
+	for _, leaf := range tree.Leaves(st.Root, nil) {
+		if leaf.Kind() != tree.KindLeaf || len(leaf.Particles) == 0 {
+			continue
+		}
+		// Group the leaf's particles by partition assignment. Assignments
+		// are usually contiguous runs (spatial decompositions), so scan.
+		groups := map[int32][]particle.Particle{}
+		for i := range leaf.Particles {
+			p := leaf.Particles[i]
+			groups[p.Partition] = append(groups[p.Partition], p)
+		}
+		if len(groups) > 1 {
+			splits += int64(len(groups))
+		}
+		for part, group := range groups {
+			buckets++
+			partition := w.Partitions[part]
+			if partition.Home == st.Owner {
+				partition.AddBucket(&traverse.Bucket{
+					Key:       leaf.Key,
+					Box:       leaf.Box,
+					Particles: group, // already a copy (groups built fresh)
+					Home:      st.Owner,
+				})
+				continue
+			}
+			// Remote partition: serialize and ship the bucket.
+			blob := make([]byte, 0, len(group)*particle.BinarySize)
+			for i := range group {
+				blob = particle.AppendBinary(blob, &group[i])
+			}
+			proc.Send(partition.Home, bucketMsg{
+				PartitionID: int(part),
+				Key:         leaf.Key,
+				Box:         leaf.Box,
+				Home:        st.Owner,
+				Blob:        blob,
+			}, len(blob)+64)
+		}
+	}
+	return splits, buckets
+}
+
+// receiveBucket lands a shipped bucket in its partition.
+func (w *World[D]) receiveBucket(msg bucketMsg) {
+	n := len(msg.Blob) / particle.BinarySize
+	group := make([]particle.Particle, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		used := particle.DecodeBinary(msg.Blob[off:], &group[i])
+		if used == 0 {
+			panic("core: truncated bucket message")
+		}
+		off += used
+	}
+	w.Partitions[msg.PartitionID].AddBucket(&traverse.Bucket{
+		Key:       msg.Key,
+		Box:       msg.Box,
+		Particles: group,
+		Home:      msg.Home,
+	})
+}
+
+// Gather collects every partition's particles into one slice (the state
+// handed to the next iteration after postTraversal updates).
+func (w *World[D]) Gather(dst []particle.Particle) []particle.Particle {
+	dst = dst[:0]
+	for _, p := range w.Partitions {
+		for _, b := range p.Buckets() {
+			dst = append(dst, b.Particles...)
+		}
+	}
+	return dst
+}
+
+// PartitionsOn returns the partitions currently homed on rank r.
+func (w *World[D]) PartitionsOn(r int) []*Partition[D] {
+	var out []*Partition[D]
+	for _, p := range w.Partitions {
+		if p.Home == r {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CheckCensus verifies no particles were lost or duplicated: the
+// partitions' total must equal n.
+func (w *World[D]) CheckCensus(n int) error {
+	total := 0
+	for _, p := range w.Partitions {
+		total += p.NumParticles()
+	}
+	if total != n {
+		return fmt.Errorf("core: partitions hold %d particles, want %d", total, n)
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+// Package decomp implements the decomposition strategies of the
+// Partitions-Subtrees model. Decomposition happens twice per iteration with
+// independent strategies: Partitions divide particles (load) by SFC slices,
+// octree nodes, or orthogonal recursive bisection, while Subtrees divide
+// the tree (memory) with splitters consistent with the chosen tree type.
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"paratreet/internal/particle"
+	"paratreet/internal/psel"
+	"paratreet/internal/sfc"
+	"paratreet/internal/tree"
+	"paratreet/internal/vec"
+)
+
+// Type enumerates the built-in partition decomposition strategies.
+type Type int
+
+const (
+	// SFCMorton slices the Morton space-filling curve into equal-count runs.
+	SFCMorton Type = iota
+	// SFCHilbert slices the Hilbert curve into equal-count runs.
+	SFCHilbert
+	// Oct assigns contiguous groups of octree nodes to partitions.
+	Oct
+	// ORB recursively bisects space at particle medians along the longest
+	// dimension (the case study's disk-friendly decomposition).
+	ORB
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case SFCMorton:
+		return "sfc-morton"
+	case SFCHilbert:
+		return "sfc-hilbert"
+	case Oct:
+		return "oct"
+	case ORB:
+		return "orb"
+	default:
+		return "unknown"
+	}
+}
+
+// Curve returns the SFC used for key assignment under this decomposition.
+// Non-SFC decompositions still key particles with Morton for tree builds.
+func (t Type) Curve() sfc.Curve {
+	if t == SFCHilbert {
+		return sfc.Hilbert
+	}
+	return sfc.Morton
+}
+
+// Assign marks ps[i].Partition for every particle, dividing them into
+// nparts groups according to the decomposition type, and returns the
+// per-partition particle counts. For SFC types, ps must already be sorted
+// by the matching curve's key. Oct requires Morton-sorted input. ORB
+// reorders ps (partition marks travel with the particles).
+func Assign(t Type, ps []particle.Particle, universe vec.Box, nparts int) ([]int, error) {
+	if nparts <= 0 {
+		return nil, fmt.Errorf("decomp: nparts must be positive, got %d", nparts)
+	}
+	switch t {
+	case SFCMorton, SFCHilbert:
+		return assignSFC(ps, nparts), nil
+	case Oct:
+		return assignOct(ps, universe, nparts)
+	case ORB:
+		counts := make([]int, nparts)
+		assignORB(ps, 0, nparts, counts)
+		return counts, nil
+	default:
+		return nil, fmt.Errorf("decomp: unknown decomposition type %d", t)
+	}
+}
+
+// assignSFC slices the key-sorted particle run into nparts near-equal
+// pieces — the classic SFC decomposition with exact splitters (we have the
+// whole set in memory, so sampling refinement is unnecessary).
+func assignSFC(ps []particle.Particle, nparts int) []int {
+	counts := make([]int, nparts)
+	n := len(ps)
+	for part := 0; part < nparts; part++ {
+		lo := part * n / nparts
+		hi := (part + 1) * n / nparts
+		for i := lo; i < hi; i++ {
+			ps[i].Partition = int32(part)
+		}
+		counts[part] = hi - lo
+	}
+	return counts
+}
+
+// assignOct performs octree decomposition: refine the octree breadth-first
+// (always splitting the most populated node) until there are enough nodes,
+// then greedily group Morton-contiguous nodes into partitions with
+// near-equal particle counts.
+func assignOct(ps []particle.Particle, universe vec.Box, nparts int) ([]int, error) {
+	if !particle.KeysSorted(ps) {
+		return nil, fmt.Errorf("decomp: oct decomposition requires Morton-sorted particles")
+	}
+	// Over-refine by 8x so the greedy grouping can balance.
+	target := nparts * 8
+	splits := OctSplitters(ps, universe, target)
+	counts := make([]int, nparts)
+	n := len(ps)
+	part := 0
+	assigned := 0
+	for s := 0; s < len(splits.Keys); s++ {
+		lo, hi := splits.Ranges[s][0], splits.Ranges[s][1]
+		// Advance to the next partition when assigning this whole node would
+		// overshoot the proportional boundary by more than half the node
+		// (nodes are indivisible here: that is the source of octree
+		// decomposition's load imbalance the paper discusses).
+		size := hi - lo
+		for part < nparts-1 && assigned+size/2 >= (part+1)*n/nparts {
+			part++
+		}
+		for i := lo; i < hi; i++ {
+			ps[i].Partition = int32(part)
+		}
+		counts[part] += size
+		assigned += size
+	}
+	return counts, nil
+}
+
+// assignORB recursively bisects ps at the particle median of the bounding
+// box's longest dimension, splitting the partition budget proportionally,
+// until each range owns one partition index.
+func assignORB(ps []particle.Particle, base, nparts int, counts []int) {
+	if nparts <= 1 {
+		for i := range ps {
+			ps[i].Partition = int32(base)
+		}
+		counts[base] += len(ps)
+		return
+	}
+	if len(ps) == 0 {
+		return
+	}
+	box := particle.BoundingBox(ps)
+	dim := box.LongestDim()
+	leftParts := nparts / 2
+	mid := len(ps) * leftParts / nparts
+	psel.SelectNth(ps, mid, dim)
+	assignORB(ps[:mid], base, leftParts, counts)
+	assignORB(ps[mid:], base+leftParts, nparts-leftParts, counts)
+}
+
+// Splitters describes a complete, prefix-free cover of the global tree by
+// subtree roots: the keys, their bounding boxes, and the index range of
+// each subtree's particles within the (possibly reordered) input slice.
+type Splitters struct {
+	Keys   []uint64
+	Levels []int
+	Boxes  []vec.Box
+	Ranges [][2]int
+}
+
+// Len returns the number of subtrees.
+func (s *Splitters) Len() int { return len(s.Keys) }
+
+// Validate checks that ranges tile [0,n) and keys are prefix-free.
+func (s *Splitters) Validate(n int, logB uint) error {
+	if len(s.Keys) != len(s.Ranges) || len(s.Keys) != len(s.Boxes) || len(s.Keys) != len(s.Levels) {
+		return fmt.Errorf("decomp: splitter slices disagree in length")
+	}
+	expect := 0
+	for i, r := range s.Ranges {
+		if r[0] != expect {
+			return fmt.Errorf("decomp: range %d starts at %d, want %d", i, r[0], expect)
+		}
+		if r[1] < r[0] {
+			return fmt.Errorf("decomp: range %d inverted", i)
+		}
+		expect = r[1]
+	}
+	if expect != n {
+		return fmt.Errorf("decomp: ranges cover %d of %d particles", expect, n)
+	}
+	for i := range s.Keys {
+		for j := i + 1; j < len(s.Keys); j++ {
+			if tree.IsAncestorKey(s.Keys[i], s.Keys[j], logB) || tree.IsAncestorKey(s.Keys[j], s.Keys[i], logB) {
+				return fmt.Errorf("decomp: splitter keys %#x and %#x overlap", s.Keys[i], s.Keys[j])
+			}
+		}
+	}
+	return nil
+}
+
+// OctSplitters computes subtree roots for an octree: starting from the
+// global root, repeatedly split the most populated node into its eight
+// children (located by binary search on Morton keys) until at least target
+// nodes exist. ps must be Morton-sorted within universe; it is not
+// reordered.
+func OctSplitters(ps []particle.Particle, universe vec.Box, target int) Splitters {
+	type cand struct {
+		key     uint64
+		level   int
+		box     vec.Box
+		lo, hi  int
+		canSpls bool
+	}
+	nodes := []cand{{key: tree.RootKey, level: 0, box: universe, lo: 0, hi: len(ps), canSpls: true}}
+	for len(nodes) < target {
+		// Find the most populated splittable node.
+		best := -1
+		for i := range nodes {
+			if !nodes[i].canSpls || nodes[i].hi-nodes[i].lo <= 1 {
+				continue
+			}
+			if best < 0 || nodes[i].hi-nodes[i].lo > nodes[best].hi-nodes[best].lo {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		n := nodes[best]
+		if n.level >= sfc.Bits-1 {
+			nodes[best].canSpls = false
+			continue
+		}
+		var kids []cand
+		lo := n.lo
+		for c := 0; c < 8; c++ {
+			ck := tree.ChildKey(n.key, c, 3)
+			// Upper bound of keys with this prefix.
+			hiKey := prefixUpperBound(ck, n.level+1)
+			hi := lo + sort.Search(n.hi-lo, func(i int) bool { return ps[lo+i].Key >= hiKey })
+			kids = append(kids, cand{
+				key: ck, level: n.level + 1, box: n.box.OctantBox(c),
+				lo: lo, hi: hi, canSpls: true,
+			})
+			lo = hi
+		}
+		// Replace the split node with its children, keeping Morton order.
+		nodes = append(nodes[:best], append(kids, nodes[best+1:]...)...)
+	}
+	out := Splitters{}
+	for _, n := range nodes {
+		out.Keys = append(out.Keys, n.key)
+		out.Levels = append(out.Levels, n.level)
+		out.Boxes = append(out.Boxes, n.box)
+		out.Ranges = append(out.Ranges, [2]int{n.lo, n.hi})
+	}
+	return out
+}
+
+// prefixUpperBound returns the smallest Morton key strictly greater than
+// every key whose level-`level` octree prefix equals that of node key k.
+func prefixUpperBound(k uint64, level int) uint64 {
+	prefix := k &^ (tree.RootKey << uint(3*level)) // strip leading 1
+	shift := uint(3 * (sfc.Bits - level))
+	return (prefix + 1) << shift
+}
+
+// MedianSplitters computes subtree roots for median-split trees (KD and
+// LongestDim): it recursively bisects ps exactly as the tree build would,
+// down to ceil(log2(target)) levels, reordering ps so each subtree's
+// particles are contiguous. The split planes chosen here are the global
+// tree's actual top levels, so subtree builds continue seamlessly below.
+func MedianSplitters(ps []particle.Particle, universe vec.Box, target int, t tree.Type) Splitters {
+	levels := 0
+	for 1<<levels < target {
+		levels++
+	}
+	out := Splitters{}
+	medianSplit(ps, universe, tree.RootKey, 0, levels, t, 0, &out)
+	return out
+}
+
+func medianSplit(ps []particle.Particle, box vec.Box, key uint64, level, remaining int, t tree.Type, base int, out *Splitters) {
+	if remaining == 0 || len(ps) <= 1 {
+		out.Keys = append(out.Keys, key)
+		out.Levels = append(out.Levels, level)
+		out.Boxes = append(out.Boxes, box)
+		out.Ranges = append(out.Ranges, [2]int{base, base + len(ps)})
+		return
+	}
+	dim := level % 3
+	if t == tree.LongestDim {
+		dim = box.LongestDim()
+	}
+	mid := len(ps) / 2
+	psel.SelectNth(ps, mid, dim)
+	split := psel.SplitPlane(ps, mid, dim)
+	loBox, hiBox := box.SplitAt(dim, split)
+	medianSplit(ps[:mid], loBox, tree.ChildKey(key, 0, 1), level+1, remaining-1, t, base, out)
+	medianSplit(ps[mid:], hiBox, tree.ChildKey(key, 1, 1), level+1, remaining-1, t, base+mid, out)
+}

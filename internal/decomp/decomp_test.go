@@ -1,0 +1,285 @@
+package decomp
+
+import (
+	"testing"
+
+	"paratreet/internal/particle"
+	"paratreet/internal/sfc"
+	"paratreet/internal/tree"
+	"paratreet/internal/vec"
+)
+
+func sorted(n int, seed int64, box vec.Box, curve sfc.Curve) []particle.Particle {
+	ps := particle.NewUniform(n, seed, box)
+	tree.AssignKeys(ps, box, func(p vec.Vec3, b vec.Box) uint64 { return sfc.Key(curve, p, b) })
+	return ps
+}
+
+func clustered(n int, seed int64, box vec.Box) []particle.Particle {
+	ps := particle.NewClustered(n, seed, box, 5)
+	tree.AssignKeys(ps, box, sfc.MortonKey)
+	return ps
+}
+
+func checkCounts(t *testing.T, ps []particle.Particle, counts []int, nparts int) {
+	t.Helper()
+	got := make([]int, nparts)
+	for i := range ps {
+		p := ps[i].Partition
+		if p < 0 || int(p) >= nparts {
+			t.Fatalf("particle %d assigned partition %d of %d", i, p, nparts)
+		}
+		got[p]++
+	}
+	total := 0
+	for part := range counts {
+		if got[part] != counts[part] {
+			t.Errorf("partition %d: counted %d, reported %d", part, got[part], counts[part])
+		}
+		total += counts[part]
+	}
+	if total != len(ps) {
+		t.Errorf("counts sum %d, want %d", total, len(ps))
+	}
+}
+
+func checkBalance(t *testing.T, counts []int, n int, tolerance float64) {
+	t.Helper()
+	ideal := float64(n) / float64(len(counts))
+	for part, c := range counts {
+		if float64(c) > ideal*(1+tolerance) || float64(c) < ideal*(1-tolerance) {
+			t.Errorf("partition %d holds %d particles, ideal %.0f (tolerance %.0f%%)",
+				part, c, ideal, tolerance*100)
+		}
+	}
+}
+
+func TestAssignSFCMorton(t *testing.T) {
+	box := vec.UnitBox()
+	ps := sorted(10000, 1, box, sfc.Morton)
+	counts, err := Assign(SFCMorton, ps, box, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, ps, counts, 7)
+	checkBalance(t, counts, len(ps), 0.01)
+	// SFC assignment must be monotone in key order.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Partition < ps[i-1].Partition {
+			t.Fatal("SFC partitions not contiguous along the curve")
+		}
+	}
+}
+
+func TestAssignSFCHilbert(t *testing.T) {
+	box := vec.UnitBox()
+	ps := sorted(5000, 2, box, sfc.Hilbert)
+	counts, err := Assign(SFCHilbert, ps, box, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, ps, counts, 5)
+	checkBalance(t, counts, len(ps), 0.01)
+}
+
+func TestAssignOctUniform(t *testing.T) {
+	box := vec.UnitBox()
+	ps := sorted(10000, 3, box, sfc.Morton)
+	counts, err := Assign(Oct, ps, box, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, ps, counts, 6)
+	// Oct decomposition balances by whole octree nodes; allow slack.
+	checkBalance(t, counts, len(ps), 0.5)
+}
+
+func TestAssignOctClusteredImbalance(t *testing.T) {
+	// The paper's motivation: octree decomposition can create load imbalance
+	// on clustered inputs. We only require it to terminate and cover.
+	box := vec.UnitBox()
+	ps := clustered(8000, 4, box)
+	counts, err := Assign(Oct, ps, box, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, ps, counts, 8)
+}
+
+func TestAssignOctRequiresSorted(t *testing.T) {
+	box := vec.UnitBox()
+	ps := sorted(100, 5, box, sfc.Morton)
+	ps[0].Key, ps[50].Key = ps[50].Key, ps[0].Key
+	if _, err := Assign(Oct, ps, box, 4); err == nil {
+		t.Error("unsorted input should error")
+	}
+}
+
+func TestAssignORB(t *testing.T) {
+	box := vec.NewBox(vec.V(0, 0, 0), vec.V(10, 10, 0.1)) // disk-like
+	ps := particle.NewUniform(9000, 6, box)
+	counts, err := Assign(ORB, ps, box, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, ps, counts, 6)
+	checkBalance(t, counts, len(ps), 0.01)
+	// ORB partitions should be spatially compact: each partition's bounding
+	// box should not cover the whole domain.
+	boxes := make([]vec.Box, 6)
+	for i := range boxes {
+		boxes[i] = vec.EmptyBox()
+	}
+	for i := range ps {
+		boxes[ps[i].Partition] = boxes[ps[i].Partition].Grow(ps[i].Pos)
+	}
+	whole := box.Volume()
+	for part, b := range boxes {
+		if b.Volume() > whole*0.6 {
+			t.Errorf("ORB partition %d box covers %.0f%% of the domain", part, 100*b.Volume()/whole)
+		}
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	box := vec.UnitBox()
+	ps := sorted(10, 7, box, sfc.Morton)
+	if _, err := Assign(SFCMorton, ps, box, 0); err == nil {
+		t.Error("nparts=0 should error")
+	}
+	if _, err := Assign(Type(99), ps, box, 2); err == nil {
+		t.Error("unknown type should error")
+	}
+}
+
+func TestAssignMorePartitionsThanParticles(t *testing.T) {
+	box := vec.UnitBox()
+	ps := sorted(3, 8, box, sfc.Morton)
+	counts, err := Assign(SFCMorton, ps, box, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, ps, counts, 10)
+}
+
+func TestOctSplitters(t *testing.T) {
+	box := vec.UnitBox()
+	ps := sorted(5000, 9, box, sfc.Morton)
+	for _, target := range []int{1, 4, 16, 50} {
+		s := OctSplitters(ps, box, target)
+		if s.Len() < target && s.Len() < len(ps) {
+			t.Errorf("target %d: only %d splitters", target, s.Len())
+		}
+		if err := s.Validate(len(ps), 3); err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		// Every particle must lie in its subtree's box and have the node key
+		// as a tree-ancestor via Morton prefix.
+		for i := range s.Keys {
+			lo, hi := s.Ranges[i][0], s.Ranges[i][1]
+			for j := lo; j < hi; j++ {
+				if !s.Boxes[i].Pad(1e-12).Contains(ps[j].Pos) {
+					t.Fatalf("particle %d outside splitter box %d", j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestOctSplittersClustered(t *testing.T) {
+	box := vec.UnitBox()
+	ps := clustered(4000, 10, box)
+	s := OctSplitters(ps, box, 20)
+	if err := s.Validate(len(ps), 3); err != nil {
+		t.Fatal(err)
+	}
+	// Largest subtree should hold far less than everything (refinement
+	// splits the most populated node first).
+	maxCount := 0
+	for _, r := range s.Ranges {
+		if c := r[1] - r[0]; c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount > len(ps)/2 {
+		t.Errorf("largest subtree holds %d/%d particles", maxCount, len(ps))
+	}
+}
+
+func TestMedianSplitters(t *testing.T) {
+	box := vec.UnitBox()
+	for _, typ := range []tree.Type{tree.KD, tree.LongestDim} {
+		ps := particle.NewUniform(4096, 11, box)
+		s := MedianSplitters(ps, box, 8, typ)
+		if s.Len() != 8 {
+			t.Fatalf("%v: %d splitters, want 8", typ, s.Len())
+		}
+		if err := s.Validate(len(ps), 1); err != nil {
+			t.Fatal(err)
+		}
+		for i := range s.Keys {
+			lo, hi := s.Ranges[i][0], s.Ranges[i][1]
+			if hi-lo != 512 {
+				t.Errorf("%v: subtree %d holds %d particles, want 512", typ, i, hi-lo)
+			}
+			for j := lo; j < hi; j++ {
+				if !s.Boxes[i].Pad(1e-12).Contains(ps[j].Pos) {
+					t.Fatalf("%v: particle %d outside splitter box %d", typ, j, i)
+				}
+			}
+		}
+		// Boxes must tile the root box without overlap (volumes sum).
+		var vol float64
+		for _, b := range s.Boxes {
+			vol += b.Volume()
+		}
+		if diff := vol - box.Volume(); diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%v: splitter volumes sum to %v, want %v", typ, vol, box.Volume())
+		}
+	}
+}
+
+func TestMedianSplittersNonPowerOfTwo(t *testing.T) {
+	box := vec.UnitBox()
+	ps := particle.NewUniform(1000, 12, box)
+	s := MedianSplitters(ps, box, 5, tree.KD) // rounds up to 8
+	if s.Len() != 8 {
+		t.Fatalf("%d splitters", s.Len())
+	}
+	if err := s.Validate(len(ps), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianSplittersBuildContinuation(t *testing.T) {
+	// Subtree builds from median splitters must produce valid trees whose
+	// keys extend the splitter keys.
+	box := vec.UnitBox()
+	ps := particle.NewUniform(2000, 13, box)
+	s := MedianSplitters(ps, box, 4, tree.KD)
+	for i := range s.Keys {
+		lo, hi := s.Ranges[i][0], s.Ranges[i][1]
+		root := tree.Build[int](ps[lo:hi], s.Boxes[i], s.Keys[i], s.Levels[i],
+			tree.BuildConfig{Type: tree.KD, BucketSize: 8})
+		if err := tree.Validate(root, tree.KD, 8); err != nil {
+			t.Fatalf("subtree %d: %v", i, err)
+		}
+		if root.Key != s.Keys[i] {
+			t.Errorf("subtree %d root key %#x", i, root.Key)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for _, typ := range []Type{SFCMorton, SFCHilbert, Oct, ORB} {
+		if typ.String() == "unknown" || typ.String() == "" {
+			t.Errorf("type %d has bad string", typ)
+		}
+	}
+	if Type(42).String() != "unknown" {
+		t.Error("unknown type string")
+	}
+	if SFCHilbert.Curve() != sfc.Hilbert || SFCMorton.Curve() != sfc.Morton || Oct.Curve() != sfc.Morton {
+		t.Error("Curve mapping wrong")
+	}
+}

@@ -1,0 +1,234 @@
+// Package knn implements k-nearest-neighbor search over spatial trees,
+// one of the paper's motivating applications (§I) and the first stage of
+// every SPH iteration (§III-B). Each target particle keeps a bounded
+// max-heap of candidate neighbors; the search radius shrinks as the heap
+// fills, so the up-and-down traversal prunes almost the entire tree.
+package knn
+
+import (
+	"encoding/binary"
+	"math"
+
+	"paratreet/internal/particle"
+	"paratreet/internal/traverse"
+	"paratreet/internal/tree"
+	"paratreet/internal/vec"
+)
+
+// Data is the per-node Data for neighbor searches: only the particle count
+// (the box comes with the node). k-d trees "prefer nodes with children
+// that are uniform in particle count" — the count is what a smarter
+// visitor would consult.
+type Data struct {
+	N int
+}
+
+// Accumulator implements the Data abstraction for Data.
+type Accumulator struct{}
+
+// FromLeaf implements tree.Accumulator.
+func (Accumulator) FromLeaf(ps []particle.Particle, _ vec.Box) Data { return Data{N: len(ps)} }
+
+// Empty implements tree.Accumulator.
+func (Accumulator) Empty() Data { return Data{} }
+
+// Add implements tree.Accumulator.
+func (Accumulator) Add(a, b Data) Data { return Data{N: a.N + b.N} }
+
+// Codec serializes Data.
+type Codec struct{}
+
+// AppendData implements tree.DataCodec.
+func (Codec) AppendData(dst []byte, d Data) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(d.N))
+}
+
+// DecodeData implements tree.DataCodec.
+func (Codec) DecodeData(b []byte) (Data, int) {
+	return Data{N: int(binary.LittleEndian.Uint64(b))}, 8
+}
+
+// Neighbor is one entry of a particle's neighbor list.
+type Neighbor struct {
+	DistSq float64
+	ID     int64
+	Pos    vec.Vec3
+	Mass   float64
+	Vel    vec.Vec3
+}
+
+// heap is a bounded max-heap of neighbors ordered by DistSq, so the root
+// is the current k-th nearest candidate.
+type heap struct {
+	k     int
+	items []Neighbor
+}
+
+func (h *heap) full() bool { return len(h.items) >= h.k }
+
+// bound returns the current search radius squared: +Inf until k candidates
+// are held, then the k-th smallest distance.
+func (h *heap) bound() float64 {
+	if !h.full() {
+		return math.Inf(1)
+	}
+	return h.items[0].DistSq
+}
+
+func (h *heap) push(n Neighbor) {
+	if h.full() {
+		if n.DistSq >= h.items[0].DistSq {
+			return
+		}
+		h.items[0] = n
+		h.siftDown(0)
+		return
+	}
+	h.items = append(h.items, n)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].DistSq >= h.items[i].DistSq {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *heap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.items[l].DistSq > h.items[big].DistSq {
+			big = l
+		}
+		if r < n && h.items[r].DistSq > h.items[big].DistSq {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
+	}
+}
+
+// State is the per-bucket search state: one heap per target particle.
+type State struct {
+	Heaps []heap
+}
+
+// Attach initializes kNN state on every bucket; call before launching the
+// traversal.
+func Attach(buckets []*traverse.Bucket, k int) {
+	for _, b := range buckets {
+		st := &State{Heaps: make([]heap, len(b.Particles))}
+		for i := range st.Heaps {
+			st.Heaps[i].k = k
+		}
+		b.State = st
+	}
+}
+
+// maxBound returns the largest current search radius over the bucket's
+// particles — the bucket-level pruning bound.
+func (s *State) maxBound() float64 {
+	max := 0.0
+	for i := range s.Heaps {
+		if b := s.Heaps[i].bound(); b > max {
+			if math.IsInf(b, 1) {
+				return b
+			}
+			max = b
+		}
+	}
+	return max
+}
+
+// Visitor performs the k-nearest-neighbor search. Excluding the target
+// particle itself is standard (ExcludeSelf).
+type Visitor struct {
+	K           int
+	ExcludeSelf bool
+}
+
+// Open implements traverse.Visitor: descend when the node's box is closer
+// to some target particle than that particle's current k-th neighbor.
+func (v Visitor) Open(source *tree.Node[Data], target *traverse.Bucket) bool {
+	if source.Data.N == 0 {
+		return false
+	}
+	st := target.State.(*State)
+	// Cheap bucket-level rejection: no point inside the target box can be
+	// within the loosest per-particle bound of the source box when
+	// dist(box, center) > maxRadius + farthest(center within bucket).
+	if mb := st.maxBound(); !math.IsInf(mb, 1) {
+		lim := math.Sqrt(mb) + math.Sqrt(target.Box.FarDistSq(target.Box.Center()))
+		if source.Box.DistSq(target.Box.Center()) > lim*lim {
+			return false
+		}
+	}
+	for i := range target.Particles {
+		if source.Box.DistSq(target.Particles[i].Pos) < st.Heaps[i].bound() {
+			return true
+		}
+	}
+	return false
+}
+
+// Node implements traverse.Visitor: an unopened node contributes nothing.
+func (v Visitor) Node(source *tree.Node[Data], target *traverse.Bucket) {}
+
+// Leaf implements traverse.Visitor: try every source particle against
+// every target heap.
+func (v Visitor) Leaf(source *tree.Node[Data], target *traverse.Bucket) {
+	st := target.State.(*State)
+	for i := range target.Particles {
+		p := &target.Particles[i]
+		h := &st.Heaps[i]
+		for j := range source.Particles {
+			s := &source.Particles[j]
+			if v.ExcludeSelf && s.ID == p.ID {
+				continue
+			}
+			d2 := s.Pos.DistSq(p.Pos)
+			if d2 < h.bound() {
+				h.push(Neighbor{DistSq: d2, ID: s.ID, Pos: s.Pos, Mass: s.Mass, Vel: s.Vel})
+			}
+		}
+	}
+}
+
+// Neighbors returns particle i's found neighbors (unsorted).
+func (s *State) Neighbors(i int) []Neighbor { return s.Heaps[i].items }
+
+// Radius returns the distance to particle i's farthest found neighbor,
+// i.e. the smoothing length 2h context SPH uses.
+func (s *State) Radius(i int) float64 {
+	if len(s.Heaps[i].items) == 0 {
+		return 0
+	}
+	return math.Sqrt(s.Heaps[i].items[0].DistSq)
+}
+
+// BruteForce computes the exact k nearest neighbors of each target in ps
+// from the same set, the validation reference.
+func BruteForce(ps []particle.Particle, k int, excludeSelf bool) [][]Neighbor {
+	out := make([][]Neighbor, len(ps))
+	for i := range ps {
+		h := heap{k: k}
+		for j := range ps {
+			if excludeSelf && ps[j].ID == ps[i].ID {
+				continue
+			}
+			d2 := ps[j].Pos.DistSq(ps[i].Pos)
+			if d2 < h.bound() {
+				h.push(Neighbor{DistSq: d2, ID: ps[j].ID, Pos: ps[j].Pos, Mass: ps[j].Mass, Vel: ps[j].Vel})
+			}
+		}
+		out[i] = h.items
+	}
+	return out
+}

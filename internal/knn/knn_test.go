@@ -1,0 +1,192 @@
+package knn_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"paratreet"
+	"paratreet/internal/knn"
+	"paratreet/internal/particle"
+	"paratreet/internal/vec"
+)
+
+func TestHeapViaBruteForce(t *testing.T) {
+	// BruteForce exercises the heap directly; compare against full sort.
+	ps := particle.NewUniform(200, 1, vec.UnitBox())
+	k := 7
+	got := knn.BruteForce(ps, k, true)
+	for i := range ps {
+		type cand struct {
+			d2 float64
+			id int64
+		}
+		var all []cand
+		for j := range ps {
+			if ps[j].ID == ps[i].ID {
+				continue
+			}
+			all = append(all, cand{ps[j].Pos.DistSq(ps[i].Pos), ps[j].ID})
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d2 < all[b].d2 })
+		want := map[int64]bool{}
+		for _, c := range all[:k] {
+			want[c.id] = true
+		}
+		if len(got[i]) != k {
+			t.Fatalf("particle %d: %d neighbors", i, len(got[i]))
+		}
+		for _, n := range got[i] {
+			if !want[n.ID] {
+				t.Fatalf("particle %d: wrong neighbor %d", i, n.ID)
+			}
+		}
+	}
+}
+
+// runKNN performs the search through the full framework with the
+// up-and-down traversal and returns neighbor ID sets by particle ID.
+func runKNN(t *testing.T, ps []particle.Particle, k, procs, workers int) map[int64]map[int64]bool {
+	t.Helper()
+	sim, err := paratreet.NewSimulation[knn.Data](paratreet.Config{
+		Procs: procs, WorkersPerProc: workers,
+		Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC, BucketSize: 8,
+	}, knn.Accumulator{}, knn.Codec{}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+
+	results := map[int64]map[int64]bool{}
+	driver := paratreet.DriverFuncs[knn.Data]{
+		TraversalFn: func(s *paratreet.Simulation[knn.Data], iter int) {
+			for _, p := range s.Partitions() {
+				knn.Attach(p.Buckets(), k)
+			}
+			paratreet.StartUpAndDown(s, func(p *paratreet.Partition[knn.Data]) knn.Visitor {
+				return knn.Visitor{K: k, ExcludeSelf: true}
+			})
+		},
+		PostTraversalFn: func(s *paratreet.Simulation[knn.Data], iter int) {
+			s.ForEachBucket(func(p *paratreet.Partition[knn.Data], b *paratreet.Bucket) {
+				st := b.State.(*knn.State)
+				for i := range b.Particles {
+					set := map[int64]bool{}
+					for _, n := range st.Neighbors(i) {
+						set[n.ID] = true
+					}
+					results[b.Particles[i].ID] = set
+				}
+			})
+		},
+	}
+	if err := sim.Run(1, driver); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	const n, k = 600, 8
+	ps := particle.NewClustered(n, 2, vec.UnitBox(), 3)
+	ref := knn.BruteForce(ps, k, true)
+	refSets := map[int64]map[int64]bool{}
+	refDist := map[int64]float64{}
+	for i := range ps {
+		set := map[int64]bool{}
+		far := 0.0
+		for _, nb := range ref[i] {
+			set[nb.ID] = true
+			if nb.DistSq > far {
+				far = nb.DistSq
+			}
+		}
+		refSets[ps[i].ID] = set
+		refDist[ps[i].ID] = far
+	}
+
+	got := runKNN(t, particle.Clone(ps), k, 3, 2)
+	if len(got) != n {
+		t.Fatalf("results for %d particles", len(got))
+	}
+	for id, set := range got {
+		if len(set) != k {
+			t.Fatalf("particle %d has %d neighbors", id, len(set))
+		}
+		for nb := range set {
+			if !refSets[id][nb] {
+				// Allow ties at the k-th distance: verify the candidate is
+				// not farther than the reference k-th distance.
+				var d2 float64 = math.Inf(1)
+				for i := range ps {
+					if ps[i].ID == nb {
+						for j := range ps {
+							if ps[j].ID == id {
+								d2 = ps[i].Pos.DistSq(ps[j].Pos)
+							}
+						}
+					}
+				}
+				if d2 > refDist[id]+1e-12 {
+					t.Fatalf("particle %d: neighbor %d at %v exceeds k-th distance %v",
+						id, nb, d2, refDist[id])
+				}
+			}
+		}
+	}
+}
+
+func TestKNNSingleProc(t *testing.T) {
+	const n, k = 300, 4
+	ps := particle.NewUniform(n, 3, vec.UnitBox())
+	got := runKNN(t, ps, k, 1, 1)
+	for id, set := range got {
+		if len(set) != k {
+			t.Fatalf("particle %d has %d neighbors", id, len(set))
+		}
+	}
+}
+
+func TestKNNWithSelfIncluded(t *testing.T) {
+	ps := particle.NewUniform(100, 4, vec.UnitBox())
+	got := knn.BruteForce(ps, 3, false)
+	for i := range ps {
+		foundSelf := false
+		for _, n := range got[i] {
+			if n.ID == ps[i].ID {
+				foundSelf = true
+			}
+		}
+		if !foundSelf {
+			t.Fatalf("particle %d: self not among 3 nearest when included", i)
+		}
+	}
+}
+
+func TestStateRadius(t *testing.T) {
+	ps := []particle.Particle{
+		{ID: 0, Pos: vec.V(0, 0, 0)},
+		{ID: 1, Pos: vec.V(1, 0, 0)},
+		{ID: 2, Pos: vec.V(2, 0, 0)},
+	}
+	res := knn.BruteForce(ps, 2, true)
+	// Particle 0's neighbors are at 1 and 2; radius = 2.
+	far := 0.0
+	for _, n := range res[0] {
+		if n.DistSq > far {
+			far = n.DistSq
+		}
+	}
+	if math.Abs(math.Sqrt(far)-2) > 1e-12 {
+		t.Errorf("radius %v", math.Sqrt(far))
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	d := knn.Data{N: 42}
+	blob := knn.Codec{}.AppendData(nil, d)
+	got, used := knn.Codec{}.DecodeData(blob)
+	if used != len(blob) || got != d {
+		t.Error("codec round trip failed")
+	}
+}

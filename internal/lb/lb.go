@@ -1,0 +1,164 @@
+// Package lb implements the framework's load balancers (§II-D1, §III-A):
+// partition loads measured by the runtime during the previous iteration are
+// either mapped onto the space-filling curve and re-sliced into contiguous
+// chunks (SFC balancing, adopted from ChaNGa), or aggregated recursively in
+// 3-D space (spatial bisection balancing). Both return a new
+// partition-to-process placement.
+package lb
+
+import (
+	"fmt"
+	"sort"
+
+	"paratreet/internal/vec"
+)
+
+// Mode selects a load balancing strategy.
+type Mode int
+
+const (
+	// Off leaves the static block placement untouched.
+	Off Mode = iota
+	// SFC re-slices partitions (already in curve order) into contiguous
+	// groups of near-equal measured load.
+	SFC
+	// Spatial recursively bisects partitions in 3-D space by load.
+	Spatial
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case SFC:
+		return "sfc"
+	case Spatial:
+		return "spatial"
+	default:
+		return "unknown"
+	}
+}
+
+// SFCMap assigns partitions 0..n-1 (in SFC order) to nprocs contiguous
+// groups with near-equal total load. Zero loads are treated as 1 so empty
+// partitions still spread.
+func SFCMap(loads []int64, nprocs int) ([]int, error) {
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("lb: nprocs must be positive")
+	}
+	n := len(loads)
+	homes := make([]int, n)
+	var total float64
+	adj := make([]float64, n)
+	for i, l := range loads {
+		if l <= 0 {
+			l = 1
+		}
+		adj[i] = float64(l)
+		total += adj[i]
+	}
+	proc := 0
+	var accProc float64
+	remaining := total
+	for i := 0; i < n; i++ {
+		target := remaining / float64(nprocs-proc)
+		// Advance when the current process has work and this partition
+		// would overshoot its adaptive share by more than half its load, or
+		// when the remaining partitions are needed one-per-process. The
+		// accProc>0 guard guarantees every process receives at least one
+		// partition while partitions remain.
+		if proc < nprocs-1 && accProc > 0 &&
+			(accProc+adj[i]/2 > target || n-i <= nprocs-proc-1) {
+			proc++
+			remaining -= accProc
+			accProc = 0
+		}
+		homes[i] = proc
+		accProc += adj[i]
+	}
+	return homes, nil
+}
+
+// SpatialMap recursively bisects the partitions by their centroid
+// positions, splitting the process budget proportionally to load, so each
+// process receives a spatially compact, load-balanced group.
+func SpatialMap(centers []vec.Vec3, loads []int64, nprocs int) ([]int, error) {
+	if len(centers) != len(loads) {
+		return nil, fmt.Errorf("lb: %d centers for %d loads", len(centers), len(loads))
+	}
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("lb: nprocs must be positive")
+	}
+	idx := make([]int, len(centers))
+	for i := range idx {
+		idx[i] = i
+	}
+	homes := make([]int, len(centers))
+	adj := make([]float64, len(loads))
+	for i, l := range loads {
+		if l <= 0 {
+			l = 1
+		}
+		adj[i] = float64(l)
+	}
+	spatialSplit(idx, centers, adj, 0, nprocs, homes)
+	return homes, nil
+}
+
+func spatialSplit(idx []int, centers []vec.Vec3, loads []float64, base, nprocs int, homes []int) {
+	if nprocs <= 1 || len(idx) <= 1 {
+		for _, i := range idx {
+			homes[i] = base
+		}
+		return
+	}
+	// Bounding box of the group's centers; split along its longest axis.
+	box := vec.EmptyBox()
+	for _, i := range idx {
+		box = box.Grow(centers[i])
+	}
+	dim := box.LongestDim()
+	sort.Slice(idx, func(a, b int) bool {
+		return centers[idx[a]].Component(dim) < centers[idx[b]].Component(dim)
+	})
+	var total float64
+	for _, i := range idx {
+		total += loads[i]
+	}
+	leftProcs := nprocs / 2
+	want := total * float64(leftProcs) / float64(nprocs)
+	var acc float64
+	cut := 0
+	for cut < len(idx)-1 && acc+loads[idx[cut]]/2 < want {
+		acc += loads[idx[cut]]
+		cut++
+	}
+	if cut == 0 {
+		cut = 1
+	}
+	spatialSplit(idx[:cut], centers, loads, base, leftProcs, homes)
+	spatialSplit(idx[cut:], centers, loads, base+leftProcs, nprocs-leftProcs, homes)
+}
+
+// Imbalance returns max/mean of per-proc load sums under a placement — the
+// metric the balancers try to minimize (1.0 is perfect).
+func Imbalance(loads []int64, homes []int, nprocs int) float64 {
+	sums := make([]float64, nprocs)
+	var total float64
+	for i, l := range loads {
+		sums[homes[i]] += float64(l)
+		total += float64(l)
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := total / float64(nprocs)
+	max := 0.0
+	for _, s := range sums {
+		if s > max {
+			max = s
+		}
+	}
+	return max / mean
+}

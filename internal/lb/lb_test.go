@@ -1,0 +1,169 @@
+package lb
+
+import (
+	"math/rand"
+	"testing"
+
+	"paratreet/internal/vec"
+)
+
+func TestModeStrings(t *testing.T) {
+	for _, m := range []Mode{Off, SFC, Spatial} {
+		if m.String() == "unknown" || m.String() == "" {
+			t.Errorf("mode %d string", m)
+		}
+	}
+	if Mode(9).String() != "unknown" {
+		t.Error("unknown mode")
+	}
+}
+
+func TestSFCMapUniform(t *testing.T) {
+	loads := make([]int64, 16)
+	for i := range loads {
+		loads[i] = 100
+	}
+	homes, err := SFCMap(loads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform loads: 4 partitions per proc, contiguous.
+	for i, h := range homes {
+		if h != i/4 {
+			t.Fatalf("homes = %v", homes)
+		}
+	}
+	if imb := Imbalance(loads, homes, 4); imb != 1 {
+		t.Errorf("imbalance %v", imb)
+	}
+}
+
+func TestSFCMapSkewed(t *testing.T) {
+	// One hot partition: it should get a proc (nearly) to itself.
+	loads := []int64{1000, 1, 1, 1, 1, 1, 1, 1}
+	homes, err := SFCMap(loads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hot partition's proc should host few others.
+	hotProc := homes[0]
+	count := 0
+	for _, h := range homes {
+		if h == hotProc {
+			count++
+		}
+	}
+	if count > 2 {
+		t.Errorf("hot proc hosts %d partitions: %v", count, homes)
+	}
+	// Every proc must be used (no empty procs with 8 partitions over 4).
+	used := map[int]bool{}
+	for _, h := range homes {
+		used[h] = true
+	}
+	if len(used) != 4 {
+		t.Errorf("only %d procs used: %v", len(used), homes)
+	}
+	// Contiguity: homes must be non-decreasing (SFC order preserved).
+	for i := 1; i < len(homes); i++ {
+		if homes[i] < homes[i-1] {
+			t.Errorf("homes not contiguous: %v", homes)
+		}
+	}
+}
+
+func TestSFCMapBetterThanBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	loads := make([]int64, 64)
+	for i := range loads {
+		loads[i] = int64(rng.ExpFloat64()*1000) + 1
+	}
+	homes, err := SFCMap(loads, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make([]int, 64)
+	for i := range block {
+		block[i] = i * 8 / 64
+	}
+	if Imbalance(loads, homes, 8) >= Imbalance(loads, block, 8) {
+		t.Errorf("SFC LB (%.3f) not better than block (%.3f)",
+			Imbalance(loads, homes, 8), Imbalance(loads, block, 8))
+	}
+}
+
+func TestSFCMapErrors(t *testing.T) {
+	if _, err := SFCMap([]int64{1}, 0); err == nil {
+		t.Error("nprocs=0 should error")
+	}
+}
+
+func TestSpatialMapCompactAndBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 64
+	centers := make([]vec.Vec3, n)
+	loads := make([]int64, n)
+	for i := range centers {
+		centers[i] = vec.V(rng.Float64(), rng.Float64(), rng.Float64())
+		loads[i] = int64(rng.ExpFloat64()*500) + 1
+	}
+	homes, err := SpatialMap(centers, loads, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := Imbalance(loads, homes, 8); imb > 1.6 {
+		t.Errorf("spatial LB imbalance %.3f", imb)
+	}
+	// All procs used.
+	used := map[int]bool{}
+	for _, h := range homes {
+		if h < 0 || h >= 8 {
+			t.Fatalf("home %d out of range", h)
+		}
+		used[h] = true
+	}
+	if len(used) != 8 {
+		t.Errorf("%d procs used", len(used))
+	}
+}
+
+func TestSpatialMapHotCluster(t *testing.T) {
+	// A dense, heavy cluster in one corner plus sparse light background:
+	// the cluster must be divided among several procs.
+	var centers []vec.Vec3
+	var loads []int64
+	for i := 0; i < 16; i++ {
+		centers = append(centers, vec.V(0.05*float64(i%4)/4, 0.05*float64(i/4)/4, 0))
+		loads = append(loads, 1000)
+	}
+	for i := 0; i < 16; i++ {
+		centers = append(centers, vec.V(0.5+0.1*float64(i%4), 0.5+0.1*float64(i/4), 0.5))
+		loads = append(loads, 10)
+	}
+	homes, err := SpatialMap(centers, loads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterProcs := map[int]bool{}
+	for i := 0; i < 16; i++ {
+		clusterProcs[homes[i]] = true
+	}
+	if len(clusterProcs) < 3 {
+		t.Errorf("hot cluster spread over only %d procs", len(clusterProcs))
+	}
+}
+
+func TestSpatialMapErrors(t *testing.T) {
+	if _, err := SpatialMap([]vec.Vec3{{}}, []int64{1, 2}, 2); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := SpatialMap([]vec.Vec3{{}}, []int64{1}, 0); err == nil {
+		t.Error("nprocs=0 should error")
+	}
+}
+
+func TestImbalanceZeroTotal(t *testing.T) {
+	if Imbalance([]int64{0, 0}, []int{0, 1}, 2) != 1 {
+		t.Error("zero-load imbalance should be 1")
+	}
+}

@@ -1,0 +1,63 @@
+package particle
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// BinarySize is the byte length of one particle's wire record, used by the
+// remote-fill serialization in the cache layer.
+const BinarySize = 8 + recordFloats*8 + 8 + 3*8 + 4 // ID, floats, Key, Acc, Partition
+
+// AppendBinary appends p's wire record to dst and returns the extended
+// slice. Unlike the dataset format, the wire record carries Key and Acc so
+// remote leaf buckets arrive traversal-ready.
+func AppendBinary(dst []byte, p *Particle) []byte {
+	var buf [BinarySize]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(p.ID))
+	vals := [recordFloats]float64{
+		p.Mass,
+		p.Pos.X, p.Pos.Y, p.Pos.Z,
+		p.Vel.X, p.Vel.Y, p.Vel.Z,
+		p.Radius, p.Density, p.SmoothLen, p.Pressure,
+	}
+	off := 8
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(buf[off:], p.Key)
+	off += 8
+	for _, v := range [3]float64{p.Acc.X, p.Acc.Y, p.Acc.Z} {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(buf[off:], uint32(p.Partition))
+	return append(dst, buf[:]...)
+}
+
+// DecodeBinary decodes one wire record from b into p and returns the number
+// of bytes consumed, or 0 if b is too short.
+func DecodeBinary(b []byte, p *Particle) int {
+	if len(b) < BinarySize {
+		return 0
+	}
+	p.ID = int64(binary.LittleEndian.Uint64(b[0:]))
+	var vals [recordFloats]float64
+	off := 8
+	for j := range vals {
+		vals[j] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	p.Mass = vals[0]
+	p.Pos.X, p.Pos.Y, p.Pos.Z = vals[1], vals[2], vals[3]
+	p.Vel.X, p.Vel.Y, p.Vel.Z = vals[4], vals[5], vals[6]
+	p.Radius, p.Density, p.SmoothLen, p.Pressure = vals[7], vals[8], vals[9], vals[10]
+	p.Key = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	p.Acc.X = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+	p.Acc.Y = math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:]))
+	p.Acc.Z = math.Float64frombits(binary.LittleEndian.Uint64(b[off+16:]))
+	p.Partition = int32(binary.LittleEndian.Uint32(b[off+24:]))
+	return BinarySize
+}

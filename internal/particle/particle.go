@@ -1,0 +1,106 @@
+// Package particle defines the particle representation shared by every
+// application in the framework, binary dataset I/O, and the synthetic
+// workload generators used by the evaluation (uniform volume, clustered
+// Plummer spheres, cosmological multi-blob volumes, and planetesimal disks).
+package particle
+
+import (
+	"sort"
+
+	"paratreet/internal/vec"
+)
+
+// Particle is a single simulation body. Gravity uses Mass/Pos/Vel/Acc;
+// SPH additionally uses Density/Pressure/SmoothLen; collision detection
+// uses Radius. Key is the particle's space-filling-curve key, assigned
+// during decomposition. Order is the particle's index in SFC order, used to
+// derive stable bucket identities.
+type Particle struct {
+	ID   int64
+	Mass float64
+	Pos  vec.Vec3
+	Vel  vec.Vec3
+	Acc  vec.Vec3
+
+	// Key is the SFC key within the current universe box.
+	Key uint64
+	// Partition is the index of the Partition this particle is assigned to
+	// by the decomposition step.
+	Partition int32
+
+	// Radius is the physical radius for finite-size bodies (collisions).
+	Radius float64
+
+	// SPH state.
+	Density   float64
+	Pressure  float64
+	SmoothLen float64
+
+	// Potential is the gravitational potential, for energy diagnostics.
+	Potential float64
+}
+
+// BoundingBox returns the smallest box containing all particle positions.
+func BoundingBox(ps []Particle) vec.Box {
+	b := vec.EmptyBox()
+	for i := range ps {
+		b = b.Grow(ps[i].Pos)
+	}
+	return b
+}
+
+// TotalMass returns the summed mass of the particles.
+func TotalMass(ps []Particle) float64 {
+	var m float64
+	for i := range ps {
+		m += ps[i].Mass
+	}
+	return m
+}
+
+// CenterOfMass returns the mass-weighted mean position. It returns the zero
+// vector for an empty or massless set.
+func CenterOfMass(ps []Particle) vec.Vec3 {
+	var moment vec.Vec3
+	var m float64
+	for i := range ps {
+		moment = moment.Add(ps[i].Pos.Scale(ps[i].Mass))
+		m += ps[i].Mass
+	}
+	if m == 0 {
+		return vec.Vec3{}
+	}
+	return moment.Scale(1 / m)
+}
+
+// SortByKey sorts particles in ascending SFC-key order, breaking ties by ID
+// so the order is deterministic.
+func SortByKey(ps []Particle) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Key != ps[j].Key {
+			return ps[i].Key < ps[j].Key
+		}
+		return ps[i].ID < ps[j].ID
+	})
+}
+
+// KeysSorted reports whether the slice is in ascending key order.
+func KeysSorted(ps []Particle) bool {
+	return sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Key < ps[j].Key })
+}
+
+// ResetAcc zeroes the acceleration and potential of every particle, the
+// per-iteration reset before a force traversal.
+func ResetAcc(ps []Particle) {
+	for i := range ps {
+		ps[i].Acc = vec.Vec3{}
+		ps[i].Potential = 0
+	}
+}
+
+// Clone returns a deep copy of the particle slice.
+func Clone(ps []Particle) []Particle {
+	out := make([]Particle, len(ps))
+	copy(out, ps)
+	return out
+}

@@ -1,0 +1,80 @@
+// Package psel provides the particle quickselect used by median-split tree
+// builds and ORB decomposition.
+package psel
+
+import (
+	"sort"
+
+	"paratreet/internal/particle"
+)
+
+// SelectNth partially orders ps by the dim coordinate (0=X,1=Y,2=Z) so
+// ps[n] is the n-th smallest, everything before index n is <= ps[n], and
+// everything after is >= ps[n]. It uses Hoare-partition quickselect with
+// median-of-three pivots and an insertion-sort base case.
+func SelectNth(ps []particle.Particle, n, dim int) {
+	lo, hi := 0, len(ps)-1
+	for hi-lo > 16 {
+		p := medianOfThree(ps, lo, hi, dim)
+		i, j := lo, hi
+		for i <= j {
+			for ps[i].Pos.Component(dim) < p {
+				i++
+			}
+			for ps[j].Pos.Component(dim) > p {
+				j--
+			}
+			if i <= j {
+				ps[i], ps[j] = ps[j], ps[i]
+				i++
+				j--
+			}
+		}
+		if n <= j {
+			hi = j
+		} else if n >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+	sub := ps[lo : hi+1]
+	sort.Slice(sub, func(a, b int) bool {
+		return sub[a].Pos.Component(dim) < sub[b].Pos.Component(dim)
+	})
+}
+
+func medianOfThree(ps []particle.Particle, lo, hi, dim int) float64 {
+	a := ps[lo].Pos.Component(dim)
+	b := ps[(lo+hi)/2].Pos.Component(dim)
+	c := ps[hi].Pos.Component(dim)
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// SplitPlane returns a plane between the maximum dim coordinate of
+// ps[:mid] and the minimum of ps[mid:], assuming SelectNth(ps, mid, dim)
+// has run, so each half's bounding box contains its particles.
+func SplitPlane(ps []particle.Particle, mid, dim int) float64 {
+	left := ps[0].Pos.Component(dim)
+	for i := 1; i < mid; i++ {
+		if v := ps[i].Pos.Component(dim); v > left {
+			left = v
+		}
+	}
+	right := ps[mid].Pos.Component(dim)
+	for i := mid + 1; i < len(ps); i++ {
+		if v := ps[i].Pos.Component(dim); v < right {
+			right = v
+		}
+	}
+	return (left + right) / 2
+}

@@ -1,0 +1,112 @@
+package psel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"paratreet/internal/particle"
+	"paratreet/internal/vec"
+)
+
+func randomParticles(n int, seed int64) []particle.Particle {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]particle.Particle, n)
+	for i := range ps {
+		ps[i] = particle.Particle{
+			ID:  int64(i),
+			Pos: vec.V(rng.Float64(), rng.Float64(), rng.Float64()),
+		}
+	}
+	return ps
+}
+
+func TestSelectNthInvariant(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + trial*7%300
+		ps := randomParticles(n, int64(trial))
+		k := trial % n
+		dim := trial % 3
+		SelectNth(ps, k, dim)
+		pivot := ps[k].Pos.Component(dim)
+		for i := 0; i < k; i++ {
+			if ps[i].Pos.Component(dim) > pivot {
+				t.Fatalf("trial %d: ps[%d]=%v > pivot %v", trial, i, ps[i].Pos.Component(dim), pivot)
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if ps[i].Pos.Component(dim) < pivot {
+				t.Fatalf("trial %d: ps[%d]=%v < pivot %v", trial, i, ps[i].Pos.Component(dim), pivot)
+			}
+		}
+	}
+}
+
+func TestSelectNthMatchesSort(t *testing.T) {
+	ps := randomParticles(500, 9)
+	want := make([]float64, len(ps))
+	for i := range ps {
+		want[i] = ps[i].Pos.X
+	}
+	sort.Float64s(want)
+	for _, k := range []int{0, 1, 249, 250, 498, 499} {
+		cp := make([]particle.Particle, len(ps))
+		copy(cp, ps)
+		SelectNth(cp, k, 0)
+		if got := cp[k].Pos.X; got != want[k] {
+			t.Errorf("k=%d: got %v, want %v", k, got, want[k])
+		}
+	}
+}
+
+func TestSelectNthDuplicates(t *testing.T) {
+	ps := make([]particle.Particle, 100)
+	for i := range ps {
+		ps[i].Pos = vec.V(float64(i%3), 0, 0)
+	}
+	SelectNth(ps, 50, 0)
+	pivot := ps[50].Pos.X
+	for i := 0; i < 50; i++ {
+		if ps[i].Pos.X > pivot {
+			t.Fatal("duplicate handling broken")
+		}
+	}
+}
+
+func TestSelectNthPreservesElements(t *testing.T) {
+	ps := randomParticles(200, 11)
+	SelectNth(ps, 100, 1)
+	seen := map[int64]bool{}
+	for i := range ps {
+		if seen[ps[i].ID] {
+			t.Fatalf("duplicate ID %d after select", ps[i].ID)
+		}
+		seen[ps[i].ID] = true
+	}
+	if len(seen) != 200 {
+		t.Fatal("elements lost")
+	}
+}
+
+func TestSplitPlaneSeparates(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		ps := randomParticles(2+trial*13%200, int64(trial))
+		mid := len(ps) / 2
+		if mid == 0 {
+			continue
+		}
+		dim := trial % 3
+		SelectNth(ps, mid, dim)
+		plane := SplitPlane(ps, mid, dim)
+		for i := 0; i < mid; i++ {
+			if ps[i].Pos.Component(dim) > plane {
+				t.Fatalf("left particle above plane")
+			}
+		}
+		for i := mid; i < len(ps); i++ {
+			if ps[i].Pos.Component(dim) < plane {
+				t.Fatalf("right particle below plane")
+			}
+		}
+	}
+}

@@ -1,0 +1,558 @@
+// Package rt simulates the distributed runtime the original system gets
+// from Charm++: a machine of P processes, each with W worker threads,
+// message-driven communication between processes, least-busy-worker task
+// placement, quiescence detection, per-phase utilization timers, and
+// communication accounting. Processes live in one Go address space but
+// interact only through messages and their own task queues, so every
+// contention and communication path of the real system executes for real;
+// optional per-message latency and per-byte costs model the wire.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Procs is the number of simulated processes.
+	Procs int
+	// WorkersPerProc is the number of worker goroutines per process
+	// (the paper runs one thread per core, e.g. 24 per Stampede2 process).
+	WorkersPerProc int
+	// Latency is the simulated per-message wire latency.
+	Latency time.Duration
+	// PerByte is the simulated per-byte transfer cost.
+	PerByte time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 1
+	}
+	if c.WorkersPerProc <= 0 {
+		c.WorkersPerProc = 1
+	}
+	return c
+}
+
+// TotalWorkers returns Procs * WorkersPerProc.
+func (c Config) TotalWorkers() int { return c.Procs * c.WorkersPerProc }
+
+// Phase labels a slice of execution time for the utilization profile
+// (the reproduction of the paper's Fig 9 Projections timeline).
+type Phase int
+
+const (
+	// PhaseTreeBuild covers decomposition and subtree construction.
+	PhaseTreeBuild Phase = iota
+	// PhaseTopShare covers distributing the root and top-level nodes.
+	PhaseTopShare
+	// PhaseLocalTraversal covers traversal work on local/cached nodes.
+	PhaseLocalTraversal
+	// PhaseCacheRequest covers issuing and serving remote node requests.
+	PhaseCacheRequest
+	// PhaseCacheInsert covers deserializing fills and cache insertion.
+	PhaseCacheInsert
+	// PhaseResume covers resuming paused traversals.
+	PhaseResume
+	// PhaseLeafShare covers the Partitions-Subtrees leaf-sharing step.
+	PhaseLeafShare
+	// PhaseIdle is worker time spent with no runnable task.
+	PhaseIdle
+	// PhaseOther is everything else.
+	PhaseOther
+
+	// NumPhases is the number of phases.
+	NumPhases
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	names := [...]string{"tree-build", "top-share", "local-traversal",
+		"cache-request", "cache-insert", "resume", "leaf-share", "idle", "other"}
+	if int(p) < len(names) {
+		return names[p]
+	}
+	return "unknown"
+}
+
+// Stats counts communication and scheduling events on one process.
+// All fields are atomics; read them only via Snapshot.
+type Stats struct {
+	MessagesSent      atomic.Int64
+	BytesSent         atomic.Int64
+	NodeRequests      atomic.Int64
+	DuplicateRequests atomic.Int64
+	Fills             atomic.Int64
+	NodesShipped      atomic.Int64
+	ParticlesShipped  atomic.Int64
+	TasksRun          atomic.Int64
+	LockWaitNanos     atomic.Int64
+	Steals            atomic.Int64
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	MessagesSent, BytesSent               int64
+	NodeRequests, DuplicateRequests       int64
+	Fills, NodesShipped, ParticlesShipped int64
+	TasksRun, LockWaitNanos, Steals       int64
+}
+
+// Snapshot reads all counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		MessagesSent:      s.MessagesSent.Load(),
+		BytesSent:         s.BytesSent.Load(),
+		NodeRequests:      s.NodeRequests.Load(),
+		DuplicateRequests: s.DuplicateRequests.Load(),
+		Fills:             s.Fills.Load(),
+		NodesShipped:      s.NodesShipped.Load(),
+		ParticlesShipped:  s.ParticlesShipped.Load(),
+		TasksRun:          s.TasksRun.Load(),
+		LockWaitNanos:     s.LockWaitNanos.Load(),
+		Steals:            s.Steals.Load(),
+	}
+}
+
+// Add accumulates another snapshot into this one.
+func (s *StatsSnapshot) Add(o StatsSnapshot) {
+	s.MessagesSent += o.MessagesSent
+	s.BytesSent += o.BytesSent
+	s.NodeRequests += o.NodeRequests
+	s.DuplicateRequests += o.DuplicateRequests
+	s.Fills += o.Fills
+	s.NodesShipped += o.NodesShipped
+	s.ParticlesShipped += o.ParticlesShipped
+	s.TasksRun += o.TasksRun
+	s.LockWaitNanos += o.LockWaitNanos
+	s.Steals += o.Steals
+}
+
+// message is an in-flight inter-process message.
+type message struct {
+	from     int
+	payload  any
+	arriveAt time.Time
+}
+
+// Machine is the simulated distributed machine.
+type Machine struct {
+	cfg     Config
+	procs   []*Proc
+	pending atomic.Int64 // outstanding tasks + messages, for quiescence
+	stop    atomic.Bool
+	started bool
+	wg      sync.WaitGroup
+}
+
+// NewMachine constructs a machine; call Start before submitting work and
+// Stop when finished.
+func NewMachine(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	m := &Machine{cfg: cfg}
+	for r := 0; r < cfg.Procs; r++ {
+		m.procs = append(m.procs, newProc(m, r, cfg.WorkersPerProc))
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumProcs returns the process count.
+func (m *Machine) NumProcs() int { return len(m.procs) }
+
+// Proc returns process r.
+func (m *Machine) Proc(r int) *Proc { return m.procs[r] }
+
+// Procs returns all processes.
+func (m *Machine) Procs() []*Proc { return m.procs }
+
+// Start launches all worker and communication goroutines.
+func (m *Machine) Start() {
+	if m.started {
+		panic("rt: Machine started twice")
+	}
+	m.started = true
+	for _, p := range m.procs {
+		p.start(&m.wg)
+	}
+}
+
+// Stop terminates all goroutines. Pending work is abandoned.
+func (m *Machine) Stop() {
+	m.stop.Store(true)
+	for _, p := range m.procs {
+		p.wakeAll()
+	}
+	m.wg.Wait()
+}
+
+// WaitQuiescence blocks until no tasks are queued or running and no
+// messages are in flight. Submit initial work before calling it.
+func (m *Machine) WaitQuiescence() {
+	for {
+		if m.pending.Load() == 0 {
+			return
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+// ResetStats zeroes every process's counters, phase timers, and busy
+// accounting.
+func (m *Machine) ResetStats() {
+	for _, p := range m.procs {
+		p.stats = Stats{}
+		for i := range p.phases {
+			p.phases[i].Store(0)
+		}
+		p.commBusy.Store(0)
+		for _, w := range p.workers {
+			w.busy.Store(0)
+		}
+	}
+}
+
+// MaxBusy returns the virtual makespan since the last ResetStats: the
+// largest per-worker (or per-communication-goroutine) busy time. On a host
+// with fewer physical cores than simulated workers, wall time cannot show
+// parallel speedup; MaxBusy is the runtime the same execution would take
+// if every simulated worker had its own core, with all contention effects
+// (lock waits, duplicated work, serialization) still included because they
+// happen inside task execution.
+func (m *Machine) MaxBusy() time.Duration {
+	var max int64
+	for _, p := range m.procs {
+		if b := p.commBusy.Load(); b > max {
+			max = b
+		}
+		for _, w := range p.workers {
+			if b := w.busy.Load(); b > max {
+				max = b
+			}
+		}
+	}
+	return time.Duration(max)
+}
+
+// TotalBusy sums busy time across all workers and communication
+// goroutines since the last ResetStats.
+func (m *Machine) TotalBusy() time.Duration {
+	var total int64
+	for _, p := range m.procs {
+		total += p.commBusy.Load()
+		for _, w := range p.workers {
+			total += w.busy.Load()
+		}
+	}
+	return time.Duration(total)
+}
+
+// TotalStats sums counters across processes.
+func (m *Machine) TotalStats() StatsSnapshot {
+	var total StatsSnapshot
+	for _, p := range m.procs {
+		total.Add(p.stats.Snapshot())
+	}
+	return total
+}
+
+// PhaseTotals sums per-phase time across all processes' workers.
+func (m *Machine) PhaseTotals() [NumPhases]time.Duration {
+	var out [NumPhases]time.Duration
+	for _, p := range m.procs {
+		for i := range p.phases {
+			out[i] += time.Duration(p.phases[i].Load())
+		}
+	}
+	return out
+}
+
+// Proc is one simulated process: W workers, an inbox served by a dedicated
+// communication goroutine, counters, and phase timers.
+type Proc struct {
+	machine *Machine
+	rank    int
+	workers []*worker
+
+	inboxMu   sync.Mutex
+	inbox     []message
+	inboxCond *sync.Cond
+
+	dispatcher atomic.Pointer[func(from int, payload any)]
+
+	stats    Stats
+	phases   [NumPhases]atomic.Int64
+	commBusy atomic.Int64
+
+	// Blob is an arbitrary per-proc attachment for higher layers (the
+	// software cache, partitions, subtrees). rt does not touch it.
+	Blob any
+}
+
+func newProc(m *Machine, rank, nworkers int) *Proc {
+	p := &Proc{machine: m, rank: rank}
+	p.inboxCond = sync.NewCond(&p.inboxMu)
+	for w := 0; w < nworkers; w++ {
+		p.workers = append(p.workers, &worker{proc: p, id: w})
+	}
+	return p
+}
+
+// Rank returns the process's rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// NumWorkers returns the worker count.
+func (p *Proc) NumWorkers() int { return len(p.workers) }
+
+// Machine returns the owning machine.
+func (p *Proc) Machine() *Machine { return p.machine }
+
+// Stats returns the process's counters.
+func (p *Proc) Stats() *Stats { return &p.stats }
+
+// AddPhase accrues d into the process's phase timer.
+func (p *Proc) AddPhase(ph Phase, d time.Duration) {
+	p.phases[ph].Add(int64(d))
+}
+
+// TimePhase runs fn, attributing its wall time to phase ph.
+func (p *Proc) TimePhase(ph Phase, fn func()) {
+	start := time.Now()
+	fn()
+	p.AddPhase(ph, time.Since(start))
+}
+
+// SetDispatcher installs the message handler, called on the communication
+// goroutine for every arriving message. The handler must not block on
+// sends (Send never blocks) and should offload heavy work via Submit.
+func (p *Proc) SetDispatcher(fn func(from int, payload any)) {
+	p.dispatcher.Store(&fn)
+}
+
+// Send delivers payload to process `to`, accounting bytes for bandwidth
+// and statistics. Sending never blocks. Messages between a pair of
+// processes arrive in order.
+func (p *Proc) Send(to int, payload any, bytes int) {
+	if to == p.rank {
+		// Local "message": dispatch through the same path, zero latency.
+		p.machine.pending.Add(1)
+		p.enqueueMessage(message{from: p.rank, payload: payload, arriveAt: time.Now()})
+		return
+	}
+	cfg := p.machine.cfg
+	arrive := time.Now().Add(cfg.Latency + time.Duration(bytes)*cfg.PerByte)
+	p.stats.MessagesSent.Add(1)
+	p.stats.BytesSent.Add(int64(bytes))
+	dst := p.machine.procs[to]
+	p.machine.pending.Add(1)
+	dst.enqueueMessage(message{from: p.rank, payload: payload, arriveAt: arrive})
+}
+
+func (p *Proc) enqueueMessage(msg message) {
+	p.inboxMu.Lock()
+	p.inbox = append(p.inbox, msg)
+	p.inboxMu.Unlock()
+	p.inboxCond.Signal()
+}
+
+// Submit enqueues task on the currently least busy worker of this process
+// (the paper's placement policy for remote fill handling).
+func (p *Proc) Submit(task func()) {
+	best := 0
+	bestLen := int64(1 << 62)
+	for i, w := range p.workers {
+		if l := w.qlen.Load(); l < bestLen {
+			best, bestLen = i, l
+			if l == 0 {
+				break
+			}
+		}
+	}
+	p.submitShared(best, task)
+}
+
+// SubmitTo enqueues task on a specific worker. Directed tasks are never
+// stolen by siblings, so tasks sent to one worker serialize.
+func (p *Proc) SubmitTo(workerID int, task func()) {
+	p.machine.pending.Add(1)
+	p.workers[workerID].push(task, true)
+}
+
+// submitShared enqueues a stealable task on the given worker.
+func (p *Proc) submitShared(workerID int, task func()) {
+	p.machine.pending.Add(1)
+	p.workers[workerID].push(task, false)
+}
+
+// wakeAll unblocks the comm goroutine so it can observe shutdown.
+func (p *Proc) wakeAll() {
+	p.inboxCond.Broadcast()
+}
+
+func (p *Proc) start(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go p.commLoop(wg)
+	for _, w := range p.workers {
+		wg.Add(1)
+		go w.run(wg)
+	}
+}
+
+// commLoop receives messages, honors simulated arrival times, and invokes
+// the dispatcher. This goroutine is the analogue of the communication
+// thread of an SMP rank.
+func (p *Proc) commLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		p.inboxMu.Lock()
+		for len(p.inbox) == 0 && !p.machine.stop.Load() {
+			p.inboxCond.Wait()
+		}
+		if p.machine.stop.Load() {
+			p.inboxMu.Unlock()
+			return
+		}
+		msg := p.inbox[0]
+		p.inbox = p.inbox[1:]
+		p.inboxMu.Unlock()
+
+		if wait := time.Until(msg.arriveAt); wait > 0 {
+			time.Sleep(wait)
+		}
+		if fn := p.dispatcher.Load(); fn != nil {
+			dispatchStart := time.Now()
+			(*fn)(msg.from, msg.payload)
+			p.commBusy.Add(int64(time.Since(dispatchStart)))
+		}
+		p.machine.pending.Add(-1)
+	}
+}
+
+// worker is one simulated core: it drains its own queues, steals from
+// siblings when idle, and accounts idle time. The pinned queue holds tasks
+// directed at this specific worker (SubmitTo) which must never be stolen —
+// the Sequential cache model relies on their serialization; the shared
+// queue holds least-busy-placed tasks that siblings may steal.
+type worker struct {
+	proc *Proc
+	id   int
+
+	mu     sync.Mutex
+	pinned []func()
+	queue  []func()
+	qlen   atomic.Int64
+
+	// busy accumulates task-execution nanos, the basis of the virtual
+	// makespan metric (see Machine.MaxBusy).
+	busy atomic.Int64
+}
+
+func (w *worker) push(task func(), pin bool) {
+	w.mu.Lock()
+	if pin {
+		w.pinned = append(w.pinned, task)
+	} else {
+		w.queue = append(w.queue, task)
+	}
+	w.mu.Unlock()
+	w.qlen.Add(1)
+}
+
+// pop takes from the front of the own queues (FIFO for fairness), pinned
+// tasks first.
+func (w *worker) pop() func() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.pinned) > 0 {
+		t := w.pinned[0]
+		w.pinned = w.pinned[1:]
+		w.qlen.Add(-1)
+		return t
+	}
+	if len(w.queue) == 0 {
+		return nil
+	}
+	t := w.queue[0]
+	w.queue = w.queue[1:]
+	w.qlen.Add(-1)
+	return t
+}
+
+// stealFrom takes from the back of a sibling's queue.
+func (w *worker) stealFrom(v *worker) func() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.queue) == 0 {
+		return nil
+	}
+	t := v.queue[len(v.queue)-1]
+	v.queue = v.queue[:len(v.queue)-1]
+	v.qlen.Add(-1)
+	return t
+}
+
+func (w *worker) next() func() {
+	if t := w.pop(); t != nil {
+		return t
+	}
+	// Steal from the longest sibling queue.
+	var victim *worker
+	var vlen int64
+	for _, v := range w.proc.workers {
+		if v == w {
+			continue
+		}
+		if l := v.qlen.Load(); l > vlen {
+			victim, vlen = v, l
+		}
+	}
+	if victim != nil {
+		if t := w.stealFrom(victim); t != nil {
+			w.proc.stats.Steals.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+func (w *worker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	idleSince := time.Time{}
+	sleep := time.Duration(0)
+	for !w.proc.machine.stop.Load() {
+		t := w.next()
+		if t == nil {
+			if idleSince.IsZero() {
+				idleSince = time.Now()
+			}
+			// Escalating backoff: spin, then sleep briefly. Idle time is
+			// accounted so utilization profiles (Fig 9) see it.
+			if sleep < 100*time.Microsecond {
+				sleep += 5 * time.Microsecond
+			}
+			time.Sleep(sleep)
+			continue
+		}
+		if !idleSince.IsZero() {
+			w.proc.AddPhase(PhaseIdle, time.Since(idleSince))
+			idleSince = time.Time{}
+		}
+		sleep = 0
+		taskStart := time.Now()
+		t()
+		w.busy.Add(int64(time.Since(taskStart)))
+		w.proc.stats.TasksRun.Add(1)
+		w.proc.machine.pending.Add(-1)
+	}
+}
+
+// String implements fmt.Stringer.
+func (p *Proc) String() string {
+	return fmt.Sprintf("proc{rank=%d workers=%d}", p.rank, len(p.workers))
+}

@@ -1,0 +1,314 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newStarted(t *testing.T, procs, workers int) *Machine {
+	t.Helper()
+	m := NewMachine(Config{Procs: procs, WorkersPerProc: workers})
+	m.Start()
+	t.Cleanup(m.Stop)
+	return m
+}
+
+func TestConfigDefaults(t *testing.T) {
+	m := NewMachine(Config{})
+	if m.NumProcs() != 1 || m.Proc(0).NumWorkers() != 1 {
+		t.Errorf("defaults: %d procs, %d workers", m.NumProcs(), m.Proc(0).NumWorkers())
+	}
+	if (Config{Procs: 3, WorkersPerProc: 4}).TotalWorkers() != 12 {
+		t.Error("TotalWorkers")
+	}
+}
+
+func TestSubmitAndQuiescence(t *testing.T) {
+	m := newStarted(t, 2, 3)
+	var count atomic.Int64
+	for i := 0; i < 100; i++ {
+		m.Proc(i % 2).Submit(func() { count.Add(1) })
+	}
+	m.WaitQuiescence()
+	if count.Load() != 100 {
+		t.Errorf("ran %d tasks", count.Load())
+	}
+	if got := m.TotalStats().TasksRun; got != 100 {
+		t.Errorf("TasksRun = %d", got)
+	}
+}
+
+func TestTasksSpawningTasks(t *testing.T) {
+	m := newStarted(t, 1, 4)
+	var count atomic.Int64
+	var spawn func(depth int)
+	p := m.Proc(0)
+	spawn = func(depth int) {
+		count.Add(1)
+		if depth > 0 {
+			for i := 0; i < 2; i++ {
+				p.Submit(func() { spawn(depth - 1) })
+			}
+		}
+	}
+	p.Submit(func() { spawn(6) })
+	m.WaitQuiescence()
+	want := int64(1<<7 - 1) // full binary tree of depth 6
+	if count.Load() != want {
+		t.Errorf("ran %d, want %d", count.Load(), want)
+	}
+}
+
+func TestMessaging(t *testing.T) {
+	m := newStarted(t, 3, 2)
+	var got sync.Map
+	for r := 0; r < 3; r++ {
+		r := r
+		m.Proc(r).SetDispatcher(func(from int, payload any) {
+			got.Store([2]int{from, r}, payload)
+		})
+	}
+	m.Proc(0).Send(1, "zero-to-one", 11)
+	m.Proc(1).Send(2, "one-to-two", 10)
+	m.Proc(2).Send(0, "two-to-zero", 11)
+	m.WaitQuiescence()
+	for _, c := range [][3]any{
+		{0, 1, "zero-to-one"}, {1, 2, "one-to-two"}, {2, 0, "two-to-zero"},
+	} {
+		v, ok := got.Load([2]int{c[0].(int), c[1].(int)})
+		if !ok || v != c[2] {
+			t.Errorf("message %v->%v: got %v", c[0], c[1], v)
+		}
+	}
+	stats := m.TotalStats()
+	if stats.MessagesSent != 3 {
+		t.Errorf("MessagesSent = %d", stats.MessagesSent)
+	}
+	if stats.BytesSent != 32 {
+		t.Errorf("BytesSent = %d", stats.BytesSent)
+	}
+}
+
+func TestSelfSendIsFreeButDispatched(t *testing.T) {
+	m := newStarted(t, 1, 1)
+	var got atomic.Int64
+	m.Proc(0).SetDispatcher(func(from int, payload any) { got.Add(int64(payload.(int))) })
+	m.Proc(0).Send(0, 5, 100)
+	m.WaitQuiescence()
+	if got.Load() != 5 {
+		t.Error("self message not dispatched")
+	}
+	if s := m.TotalStats(); s.MessagesSent != 0 || s.BytesSent != 0 {
+		t.Error("self message should not count as communication")
+	}
+}
+
+func TestMessageOrderingPerPair(t *testing.T) {
+	m := newStarted(t, 2, 1)
+	var mu sync.Mutex
+	var order []int
+	m.Proc(1).SetDispatcher(func(from int, payload any) {
+		mu.Lock()
+		order = append(order, payload.(int))
+		mu.Unlock()
+	})
+	for i := 0; i < 50; i++ {
+		m.Proc(0).Send(1, i, 1)
+	}
+	m.WaitQuiescence()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 50 {
+		t.Fatalf("got %d messages", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestDispatcherSendsFromCommThread(t *testing.T) {
+	// Request/reply ping-pong: dispatcher on proc 1 replies immediately.
+	// This must not deadlock even with many outstanding messages.
+	m := newStarted(t, 2, 1)
+	var replies atomic.Int64
+	m.Proc(1).SetDispatcher(func(from int, payload any) {
+		m.Proc(1).Send(from, payload, 8)
+	})
+	m.Proc(0).SetDispatcher(func(from int, payload any) {
+		replies.Add(1)
+	})
+	for i := 0; i < 500; i++ {
+		m.Proc(0).Send(1, i, 8)
+	}
+	m.WaitQuiescence()
+	if replies.Load() != 500 {
+		t.Errorf("got %d replies", replies.Load())
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	m := NewMachine(Config{Procs: 2, WorkersPerProc: 1, Latency: 20 * time.Millisecond})
+	m.Start()
+	defer m.Stop()
+	done := make(chan time.Time, 1)
+	m.Proc(1).SetDispatcher(func(from int, payload any) { done <- time.Now() })
+	start := time.Now()
+	m.Proc(0).Send(1, nil, 0)
+	arrived := <-done
+	if d := arrived.Sub(start); d < 18*time.Millisecond {
+		t.Errorf("message arrived after %v, want >= ~20ms", d)
+	}
+}
+
+func TestPerByteCost(t *testing.T) {
+	m := NewMachine(Config{Procs: 2, WorkersPerProc: 1, PerByte: 10 * time.Microsecond})
+	m.Start()
+	defer m.Stop()
+	done := make(chan time.Time, 1)
+	m.Proc(1).SetDispatcher(func(from int, payload any) { done <- time.Now() })
+	start := time.Now()
+	m.Proc(0).Send(1, nil, 2000) // 2000 bytes * 10us = 20ms
+	arrived := <-done
+	if d := arrived.Sub(start); d < 18*time.Millisecond {
+		t.Errorf("message arrived after %v, want >= ~20ms", d)
+	}
+}
+
+func TestSubmitToSpecificWorker(t *testing.T) {
+	m := newStarted(t, 1, 4)
+	// All tasks to worker 0: they must serialize (the Sequential cache
+	// model relies on this).
+	var maxConcurrent, current atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		m.Proc(0).SubmitTo(0, func() {
+			defer wg.Done()
+			c := current.Add(1)
+			for {
+				old := maxConcurrent.Load()
+				if c <= old || maxConcurrent.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			current.Add(-1)
+		})
+	}
+	wg.Wait()
+	// Work stealing must NOT steal from a directed queue... it can, which
+	// would break Sequential. Verify it does not run concurrently.
+	if maxConcurrent.Load() > 1 {
+		t.Errorf("directed tasks ran %dx concurrently", maxConcurrent.Load())
+	}
+}
+
+func TestLeastBusyPlacement(t *testing.T) {
+	m := newStarted(t, 1, 2)
+	p := m.Proc(0)
+	block := make(chan struct{})
+	// Occupy worker 0 with a long task and fill its queue.
+	p.SubmitTo(0, func() { <-block })
+	for i := 0; i < 5; i++ {
+		p.SubmitTo(0, func() {})
+	}
+	// Least-busy submission should pick worker 1 and run promptly.
+	ran := make(chan struct{})
+	p.Submit(func() { close(ran) })
+	select {
+	case <-ran:
+	case <-time.After(2 * time.Second):
+		t.Error("least-busy task did not run while worker 0 was blocked")
+	}
+	close(block)
+	m.WaitQuiescence()
+}
+
+func TestPhaseTimers(t *testing.T) {
+	m := newStarted(t, 2, 1)
+	m.Proc(0).TimePhase(PhaseLocalTraversal, func() { time.Sleep(5 * time.Millisecond) })
+	m.Proc(1).AddPhase(PhaseLocalTraversal, 3*time.Millisecond)
+	m.Proc(1).AddPhase(PhaseCacheInsert, time.Millisecond)
+	totals := m.PhaseTotals()
+	if totals[PhaseLocalTraversal] < 7*time.Millisecond {
+		t.Errorf("local traversal total %v", totals[PhaseLocalTraversal])
+	}
+	if totals[PhaseCacheInsert] != time.Millisecond {
+		t.Errorf("cache insert total %v", totals[PhaseCacheInsert])
+	}
+	m.ResetStats()
+	totals = m.PhaseTotals()
+	for ph, d := range totals {
+		if d != 0 {
+			t.Errorf("phase %v not reset: %v", Phase(ph), d)
+		}
+	}
+}
+
+func TestIdleAccounting(t *testing.T) {
+	m := newStarted(t, 1, 2)
+	// Let workers idle a while, then run a task to flush idle accounting.
+	time.Sleep(20 * time.Millisecond)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	m.Proc(0).SubmitTo(0, func() { wg.Done() })
+	m.Proc(0).SubmitTo(1, func() { wg.Done() })
+	wg.Wait()
+	if idle := m.PhaseTotals()[PhaseIdle]; idle < 10*time.Millisecond {
+		t.Errorf("idle total %v, want >= ~20ms across workers", idle)
+	}
+}
+
+func TestStealing(t *testing.T) {
+	m := newStarted(t, 1, 4)
+	p := m.Proc(0)
+	var count atomic.Int64
+	// Dump everything on worker 0's shared (stealable) queue; others steal.
+	for i := 0; i < 200; i++ {
+		p.submitShared(0, func() {
+			count.Add(1)
+			time.Sleep(50 * time.Microsecond)
+		})
+	}
+	m.WaitQuiescence()
+	if count.Load() != 200 {
+		t.Fatalf("ran %d", count.Load())
+	}
+	if m.TotalStats().Steals == 0 {
+		t.Error("expected steals when one worker holds all tasks")
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		if ph.String() == "unknown" || ph.String() == "" {
+			t.Errorf("phase %d has bad name", ph)
+		}
+	}
+	if NumPhases.String() != "unknown" {
+		t.Error("out-of-range phase should be unknown")
+	}
+}
+
+func TestStatsSnapshotAdd(t *testing.T) {
+	var a, b StatsSnapshot
+	a.MessagesSent = 1
+	a.BytesSent = 2
+	b.MessagesSent = 10
+	b.Steals = 5
+	a.Add(b)
+	if a.MessagesSent != 11 || a.BytesSent != 2 || a.Steals != 5 {
+		t.Errorf("Add result %+v", a)
+	}
+}
+
+func TestProcString(t *testing.T) {
+	m := NewMachine(Config{Procs: 1, WorkersPerProc: 2})
+	if m.Proc(0).String() == "" {
+		t.Error("empty proc string")
+	}
+}

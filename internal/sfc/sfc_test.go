@@ -1,0 +1,274 @@
+package sfc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"paratreet/internal/vec"
+)
+
+func TestQuantizeCorners(t *testing.T) {
+	box := vec.UnitBox()
+	x, y, z := Quantize(vec.V(0, 0, 0), box)
+	if x != 0 || y != 0 || z != 0 {
+		t.Errorf("min corner = (%d,%d,%d)", x, y, z)
+	}
+	x, y, z = Quantize(vec.V(1, 1, 1), box)
+	if x != MaxCoord || y != MaxCoord || z != MaxCoord {
+		t.Errorf("max corner = (%d,%d,%d), want all %d", x, y, z, MaxCoord)
+	}
+	// Clamping outside the box.
+	x, _, _ = Quantize(vec.V(-5, 0.5, 0.5), box)
+	if x != 0 {
+		t.Errorf("clamp below = %d", x)
+	}
+	x, _, _ = Quantize(vec.V(5, 0.5, 0.5), box)
+	if x != MaxCoord {
+		t.Errorf("clamp above = %d", x)
+	}
+	// Degenerate box.
+	x, y, z = Quantize(vec.V(3, 3, 3), vec.NewBox(vec.V(3, 3, 3), vec.V(3, 3, 3)))
+	if x != 0 || y != 0 || z != 0 {
+		t.Errorf("degenerate box = (%d,%d,%d)", x, y, z)
+	}
+}
+
+func TestDequantizeRoundTrip(t *testing.T) {
+	box := vec.NewBox(vec.V(-2, -2, -2), vec.V(2, 2, 2))
+	rng := rand.New(rand.NewSource(1))
+	cell := 4.0 / float64(MaxCoord+1)
+	for i := 0; i < 1000; i++ {
+		p := vec.V(rng.Float64()*4-2, rng.Float64()*4-2, rng.Float64()*4-2)
+		x, y, z := Quantize(p, box)
+		q := Dequantize(x, y, z, box)
+		if q.Sub(p).Norm() > cell*2 {
+			t.Fatalf("round trip error too large: %v -> %v", p, q)
+		}
+	}
+}
+
+func TestMortonRoundTrip(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= MaxCoord
+		y &= MaxCoord
+		z &= MaxCoord
+		gx, gy, gz := DecodeMorton(EncodeMorton(x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMortonBit63Clear(t *testing.T) {
+	k := EncodeMorton(MaxCoord, MaxCoord, MaxCoord)
+	if k>>63 != 0 {
+		t.Errorf("key uses bit 63: %x", k)
+	}
+	if k != (1<<63)-1 {
+		t.Errorf("max key = %x, want %x", k, uint64(1<<63)-1)
+	}
+}
+
+func TestMortonOrderingMatchesOctants(t *testing.T) {
+	// The first Morton triplet must match Box.Octant indexing: points in
+	// octant o of the universe must have top triplet == o.
+	box := vec.NewBox(vec.V(0, 0, 0), vec.V(2, 2, 2))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		p := vec.V(rng.Float64()*2, rng.Float64()*2, rng.Float64()*2)
+		key := MortonKey(p, box)
+		top := int(key >> (3 * (Bits - 1)) & 7)
+		if oct := box.Octant(p); top != oct {
+			t.Fatalf("point %v: top triplet %d != octant %d", p, top, oct)
+		}
+	}
+}
+
+func TestHilbertRoundTrip(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= MaxCoord
+		y &= MaxCoord
+		z &= MaxCoord
+		gx, gy, gz := DecodeHilbert(EncodeHilbert(x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHilbertIsBijectiveOnSmallLattice(t *testing.T) {
+	// On the top 2 levels (4x4x4 shifted to high bits), keys must be unique.
+	seen := map[uint64]bool{}
+	const step = 1 << (Bits - 2) // 4 cells per dim
+	for x := uint32(0); x < 4; x++ {
+		for y := uint32(0); y < 4; y++ {
+			for z := uint32(0); z < 4; z++ {
+				k := EncodeHilbert(x*step, y*step, z*step)
+				if seen[k] {
+					t.Fatalf("duplicate Hilbert key for (%d,%d,%d)", x, y, z)
+				}
+				seen[k] = true
+			}
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("got %d distinct keys, want 64", len(seen))
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// Consecutive Hilbert indices on a small sub-lattice must be adjacent
+	// lattice cells (1-norm distance == 1 cell). Build all 8^2 = 64 cells of
+	// a 4x4x4 lattice, sort by Hilbert key, check neighbors.
+	const step = 1 << (Bits - 2)
+	type cell struct {
+		key     uint64
+		x, y, z uint32
+	}
+	var cells []cell
+	for x := uint32(0); x < 4; x++ {
+		for y := uint32(0); y < 4; y++ {
+			for z := uint32(0); z < 4; z++ {
+				cells = append(cells, cell{EncodeHilbert(x*step, y*step, z*step), x, y, z})
+			}
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].key < cells[j].key })
+	abs := func(a, b uint32) uint32 {
+		if a > b {
+			return a - b
+		}
+		return b - a
+	}
+	for i := 1; i < len(cells); i++ {
+		a, b := cells[i-1], cells[i]
+		d := abs(a.x, b.x) + abs(a.y, b.y) + abs(a.z, b.z)
+		if d != 1 {
+			t.Fatalf("consecutive Hilbert cells not adjacent: (%d,%d,%d) -> (%d,%d,%d)",
+				a.x, a.y, a.z, b.x, b.y, b.z)
+		}
+	}
+}
+
+func TestHilbertLocalityBeatsMorton(t *testing.T) {
+	// Average 1-norm jump between consecutive keys along the curve should be
+	// smaller for Hilbert than Morton on a random point set.
+	box := vec.UnitBox()
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	type kp struct{ m, h uint64 }
+	keys := make([]kp, n)
+	for i := range keys {
+		p := vec.V(rng.Float64(), rng.Float64(), rng.Float64())
+		keys[i] = kp{MortonKey(p, box), HilbertKey(p, box)}
+	}
+	jump := func(get func(kp) uint64, decode func(uint64) (uint32, uint32, uint32)) float64 {
+		ks := make([]uint64, n)
+		for i := range keys {
+			ks[i] = get(keys[i])
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		var total float64
+		for i := 1; i < n; i++ {
+			ax, ay, az := decode(ks[i-1])
+			bx, by, bz := decode(ks[i])
+			total += absf(ax, bx) + absf(ay, by) + absf(az, bz)
+		}
+		return total
+	}
+	mj := jump(func(k kp) uint64 { return k.m }, DecodeMorton)
+	hj := jump(func(k kp) uint64 { return k.h }, DecodeHilbert)
+	if hj >= mj {
+		t.Errorf("Hilbert total jump %v not better than Morton %v", hj, mj)
+	}
+}
+
+func absf(a, b uint32) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+func TestCellBox(t *testing.T) {
+	box := vec.NewBox(vec.V(0, 0, 0), vec.V(8, 8, 8))
+	p := vec.V(1, 1, 1) // in octant 0, then sub-octant 0...
+	key := MortonKey(p, box)
+	b0 := CellBox(key, 0, box)
+	if b0 != box {
+		t.Errorf("level 0 cell = %v", b0)
+	}
+	b1 := CellBox(key, 1, box)
+	if !b1.Contains(p) {
+		t.Errorf("level 1 cell %v does not contain %v", b1, p)
+	}
+	if b1.Volume() != box.Volume()/8 {
+		t.Errorf("level 1 volume = %v", b1.Volume())
+	}
+	b3 := CellBox(key, 3, box)
+	if !b3.Contains(p) {
+		t.Errorf("level 3 cell %v does not contain %v", b3, p)
+	}
+	if !b1.ContainsBox(b3) {
+		t.Error("deeper cell should nest inside shallower cell")
+	}
+}
+
+func TestCellBoxContainsPointProperty(t *testing.T) {
+	box := vec.NewBox(vec.V(-3, -1, -4), vec.V(5, 9, 2))
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		p := vec.V(
+			box.Min.X+rng.Float64()*box.Dims().X,
+			box.Min.Y+rng.Float64()*box.Dims().Y,
+			box.Min.Z+rng.Float64()*box.Dims().Z,
+		)
+		key := MortonKey(p, box)
+		for level := 0; level <= 7; level++ {
+			cb := CellBox(key, level, box).Pad(1e-12)
+			if !cb.Contains(p) {
+				t.Fatalf("level %d cell %v does not contain %v", level, cb, p)
+			}
+		}
+	}
+}
+
+func TestMortonOrderPreservesSpatialOrder1D(t *testing.T) {
+	// Along a single axis, larger coordinate means larger Morton key.
+	box := vec.UnitBox()
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		p := vec.V(float64(i)/100, 0, 0)
+		k := MortonKey(p, box)
+		if k < prev {
+			t.Fatalf("key decreased along x axis at i=%d", i)
+		}
+		prev = k
+	}
+}
+
+func TestCurveDispatch(t *testing.T) {
+	box := vec.UnitBox()
+	p := vec.V(0.3, 0.7, 0.2)
+	if Key(Morton, p, box) != MortonKey(p, box) {
+		t.Error("Key(Morton) mismatch")
+	}
+	if Key(Hilbert, p, box) != HilbertKey(p, box) {
+		t.Error("Key(Hilbert) mismatch")
+	}
+	if Morton.String() != "morton" || Hilbert.String() != "hilbert" || Curve(9).String() != "unknown" {
+		t.Error("Curve.String wrong")
+	}
+}
+
+func TestKeyDistance1Norm(t *testing.T) {
+	a := EncodeMorton(0, 0, 0)
+	b := EncodeMorton(1, 2, 3)
+	if d := KeyDistance1Norm(a, b); d != 6 {
+		t.Errorf("distance = %v, want 6", d)
+	}
+}

@@ -1,0 +1,264 @@
+package traverse
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paratreet/internal/cache"
+	"paratreet/internal/rt"
+	"paratreet/internal/tree"
+	"paratreet/internal/vec"
+)
+
+// CellAction is the outcome of DualVisitor.Cell for a (source node, target
+// group) pair, the paper's cell() decision: when evaluating two nodes with
+// B children each, open both (B² sub-interactions) or keep the target and
+// open only the source (B sub-interactions) — or prune / approximate.
+type CellAction int
+
+const (
+	// CellPrune skips the pair entirely.
+	CellPrune CellAction = iota
+	// CellApprox applies Node to every bucket of the target group.
+	CellApprox
+	// CellOpenSource descends the source, keeping the target group whole.
+	CellOpenSource
+	// CellOpenTarget splits the target group, keeping the source node.
+	CellOpenTarget
+	// CellOpenBoth descends the source and splits the target group.
+	CellOpenBoth
+)
+
+// DualVisitor drives a dual-tree traversal. Cell is evaluated on
+// (source node, target-group bounding box); Node and Leaf apply
+// approximate/exact interactions to individual buckets as in Visitor.
+type DualVisitor[D any] interface {
+	Cell(source *tree.Node[D], targetBox vec.Box) CellAction
+	Node(source *tree.Node[D], target *Bucket)
+	Leaf(source *tree.Node[D], target *Bucket)
+}
+
+// targetGroup is a node of the implicit binary tree over the partition's
+// buckets, built by median splits of bucket centers.
+type targetGroup struct {
+	box      vec.Box
+	buckets  []int32
+	children [2]*targetGroup
+}
+
+// buildTargetGroups builds the target hierarchy over the buckets.
+func buildTargetGroups(buckets []*Bucket, idx []int32, leafSize int) *targetGroup {
+	g := &targetGroup{buckets: idx, box: vec.EmptyBox()}
+	for _, bi := range idx {
+		g.box = g.box.Union(buckets[bi].Box)
+	}
+	if len(idx) <= leafSize {
+		return g
+	}
+	dim := g.box.LongestDim()
+	sorted := make([]int32, len(idx))
+	copy(sorted, idx)
+	sort.Slice(sorted, func(a, b int) bool {
+		return buckets[sorted[a]].Box.Center().Component(dim) <
+			buckets[sorted[b]].Box.Center().Component(dim)
+	})
+	mid := len(sorted) / 2
+	g.children[0] = buildTargetGroups(buckets, sorted[:mid], leafSize)
+	g.children[1] = buildTargetGroups(buckets, sorted[mid:], leafSize)
+	return g
+}
+
+// dualFrame pairs a source node with a target group.
+type dualFrame[D any] struct {
+	node     *tree.Node[D]
+	parent   *tree.Node[D]
+	childIdx int
+	group    *targetGroup
+}
+
+// Dual is an in-flight dual-tree traversal.
+type Dual[D any, V DualVisitor[D]] struct {
+	proc    *rt.Proc
+	cache   *cache.Cache[D]
+	viewID  int
+	visitor V
+	buckets []*Bucket
+	root    *targetGroup
+
+	mu      sync.Mutex
+	stack   []dualFrame[D]
+	running atomic.Bool
+
+	outstanding atomic.Int64
+	onDone      func()
+
+	// CellCalls counts Cell evaluations, for pruning diagnostics.
+	CellCalls atomic.Int64
+	// WorkNanos accumulates frame-processing time for load measurement.
+	WorkNanos atomic.Int64
+}
+
+// NewDual constructs a dual-tree traversal over buckets. groupLeafSize
+// bounds the bucket count of target-group leaves (typical: 4).
+func NewDual[D any, V DualVisitor[D]](proc *rt.Proc, c *cache.Cache[D], viewID int, buckets []*Bucket, visitor V, groupLeafSize int, onDone func()) *Dual[D, V] {
+	if groupLeafSize <= 0 {
+		groupLeafSize = 4
+	}
+	idx := make([]int32, len(buckets))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return &Dual[D, V]{
+		proc: proc, cache: c, viewID: viewID, visitor: visitor,
+		buckets: buckets, root: buildTargetGroups(buckets, idx, groupLeafSize),
+		onDone: onDone,
+	}
+}
+
+// Start launches the traversal from (view root, all buckets).
+func (d *Dual[D, V]) Start() {
+	d.push(dualFrame[D]{node: d.cache.Root(d.viewID), group: d.root})
+	task := func() { d.proc.TimePhase(rt.PhaseLocalTraversal, d.pump) }
+	if d.cache.Policy() == cache.PerThread {
+		d.proc.SubmitTo(d.viewID, task)
+	} else {
+		d.proc.Submit(task)
+	}
+}
+
+// Done reports completion.
+func (d *Dual[D, V]) Done() bool { return d.outstanding.Load() == 0 }
+
+func (d *Dual[D, V]) push(f dualFrame[D]) {
+	d.outstanding.Add(1)
+	d.mu.Lock()
+	d.stack = append(d.stack, f)
+	d.mu.Unlock()
+}
+
+func (d *Dual[D, V]) pop() (dualFrame[D], bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.stack) == 0 {
+		return dualFrame[D]{}, false
+	}
+	f := d.stack[len(d.stack)-1]
+	d.stack = d.stack[:len(d.stack)-1]
+	return f, true
+}
+
+func (d *Dual[D, V]) pump() {
+	for {
+		if !d.running.CompareAndSwap(false, true) {
+			return
+		}
+		start := time.Now()
+		for {
+			f, ok := d.pop()
+			if !ok {
+				break
+			}
+			d.process(f)
+		}
+		d.WorkNanos.Add(int64(time.Since(start)))
+		d.running.Store(false)
+		d.mu.Lock()
+		empty := len(d.stack) == 0
+		d.mu.Unlock()
+		if empty {
+			return
+		}
+	}
+}
+
+func (d *Dual[D, V]) finishFrame() {
+	if d.outstanding.Add(-1) == 0 && d.onDone != nil {
+		d.onDone()
+	}
+}
+
+func (d *Dual[D, V]) process(f dualFrame[D]) {
+	n := f.node
+	kind := n.Kind()
+	if kind == tree.KindRemote {
+		d.pause(f)
+		return
+	}
+	d.CellCalls.Add(1)
+	action := d.visitor.Cell(n, f.group.box)
+	switch action {
+	case CellPrune:
+
+	case CellApprox:
+		for _, bi := range f.group.buckets {
+			d.visitor.Node(n, d.buckets[bi])
+		}
+
+	default:
+		openSource := action == CellOpenSource || action == CellOpenBoth
+		openTarget := action == CellOpenTarget || action == CellOpenBoth
+		if kind == tree.KindEmptyLeaf {
+			break
+		}
+		if kind == tree.KindRemoteLeaf {
+			// Need particles for exact interaction.
+			d.pause(f)
+			return
+		}
+		if kind.IsLeaf() {
+			if openTarget && f.group.children[0] != nil {
+				d.push(dualFrame[D]{node: n, parent: f.parent, childIdx: f.childIdx, group: f.group.children[0]})
+				d.push(dualFrame[D]{node: n, parent: f.parent, childIdx: f.childIdx, group: f.group.children[1]})
+			} else {
+				for _, bi := range f.group.buckets {
+					d.visitor.Leaf(n, d.buckets[bi])
+				}
+			}
+			break
+		}
+		// Internal source. Every non-prune, non-approx action must make
+		// progress: if the target group cannot split, descend the source
+		// instead (always a valid refinement).
+		canSplit := f.group.children[0] != nil
+		if openTarget && !canSplit {
+			openTarget, openSource = false, true
+		}
+		groups := []*targetGroup{f.group}
+		if openTarget {
+			groups = []*targetGroup{f.group.children[0], f.group.children[1]}
+		}
+		for _, g := range groups {
+			if openSource {
+				for i := 0; i < n.NumChildren(); i++ {
+					if c := n.Child(i); c != nil {
+						d.push(dualFrame[D]{node: c, parent: n, childIdx: i, group: g})
+					}
+				}
+			} else {
+				d.push(dualFrame[D]{node: n, parent: f.parent, childIdx: f.childIdx, group: g})
+			}
+		}
+	}
+	d.finishFrame()
+}
+
+func (d *Dual[D, V]) pause(f dualFrame[D]) {
+	if f.parent == nil {
+		panic("traverse: remote dual node with no parent")
+	}
+	resume := func() {
+		start := time.Now()
+		fresh := f.parent.Child(f.childIdx)
+		d.push(dualFrame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, group: f.group})
+		d.finishFrame()
+		d.pump()
+		d.proc.AddPhase(rt.PhaseResume, time.Since(start))
+	}
+	if !d.cache.Request(d.viewID, f.node, resume) {
+		fresh := f.parent.Child(f.childIdx)
+		d.push(dualFrame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, group: f.group})
+		d.finishFrame()
+	}
+}

@@ -1,0 +1,337 @@
+// Package traverse implements the framework's traversal engines (§II-A):
+// top-down traversal in two styles — ParaTreeT's locality-enhancing
+// transposed loop that carries an active-bucket list down the tree, and the
+// standard per-bucket depth-first walk ("BasicTrav") — plus the up-and-down
+// traversal used by k-nearest-neighbor algorithms and a dual-tree traversal
+// with the cell() decision. All engines share the pause/resume machinery:
+// reaching a remote placeholder parks the frame on the node's lock-free
+// waiter list via the software cache and continues with other work; fills
+// resume parked frames on the least busy worker.
+//
+// Each traversal behaves like a chare: its frames execute one at a time
+// (the actor "pump" below), so visitor writes to bucket particles need no
+// locks, while different traversals run in parallel across workers.
+package traverse
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paratreet/internal/cache"
+	"paratreet/internal/particle"
+	"paratreet/internal/rt"
+	"paratreet/internal/tree"
+	"paratreet/internal/vec"
+)
+
+// Bucket is a traversal target: a leaf bucket owned by a Partition, with
+// writable particles. Key is the source leaf's global tree key.
+type Bucket struct {
+	Key       uint64
+	Box       vec.Box
+	Particles []particle.Particle
+	// Home is the rank of the Subtree that owns the source leaf.
+	Home int
+	// State is per-bucket visitor state (e.g. kNN heaps); engines do not
+	// touch it.
+	State any
+}
+
+// Visitor is the paper's Visitor abstraction: Open decides whether to
+// traverse below source for the given target; Node applies the
+// approximated interaction when source is not opened; Leaf applies exact
+// interactions when the traversal reaches a leaf. Open must not mutate the
+// target (read-only semantics); Node and Leaf may update target particles.
+type Visitor[D any] interface {
+	Open(source *tree.Node[D], target *Bucket) bool
+	Node(source *tree.Node[D], target *Bucket)
+	Leaf(source *tree.Node[D], target *Bucket)
+}
+
+// Style selects the top-down loop organization.
+type Style int
+
+const (
+	// Transposed is ParaTreeT's style: each tree node is visited once per
+	// traversal and applied to every active bucket (locality-enhancing
+	// loop transposition; the GPU-style traversal).
+	Transposed Style = iota
+	// PerBucket is the standard style: the tree is walked once per bucket
+	// (the paper's "BasicTrav" comparison).
+	PerBucket
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	if s == PerBucket {
+		return "per-bucket"
+	}
+	return "transposed"
+}
+
+// frame is one unit of traversal work: a source node and the target
+// buckets still active beneath it.
+type frame[D any] struct {
+	node     *tree.Node[D]
+	parent   *tree.Node[D]
+	childIdx int
+	active   []int32
+}
+
+// Traversal is an in-flight top-down traversal over one partition's
+// buckets. Create with NewTopDown, start with Start; Done reports
+// completion (all frames drained, including paused ones).
+type Traversal[D any, V Visitor[D]] struct {
+	proc    *rt.Proc
+	cache   *cache.Cache[D]
+	viewID  int
+	visitor V
+	buckets []*Bucket
+	style   Style
+
+	mu      sync.Mutex
+	stack   []frame[D]
+	running atomic.Bool
+
+	outstanding atomic.Int64
+	onDone      func()
+
+	// PausedCount counts pause events, for diagnostics.
+	PausedCount atomic.Int64
+	// NodesVisited counts frame evaluations.
+	NodesVisited atomic.Int64
+	// WorkNanos accumulates time spent processing this traversal's frames,
+	// the per-partition load measurement consumed by the load balancers.
+	WorkNanos atomic.Int64
+}
+
+// NewTopDown constructs a traversal of buckets against the cache's view
+// tree. onDone (may be nil) runs exactly once when the traversal finishes.
+func NewTopDown[D any, V Visitor[D]](proc *rt.Proc, c *cache.Cache[D], viewID int, buckets []*Bucket, visitor V, style Style, onDone func()) *Traversal[D, V] {
+	return &Traversal[D, V]{
+		proc: proc, cache: c, viewID: viewID,
+		visitor: visitor, buckets: buckets, style: style, onDone: onDone,
+	}
+}
+
+// Start enqueues the traversal's initial frames on the owning process.
+// Under the PerThread cache policy the work is pinned to the view's worker;
+// otherwise it is placed on the least busy worker.
+func (t *Traversal[D, V]) Start() {
+	root := t.cache.Root(t.viewID)
+	if t.style == PerBucket {
+		for i := range t.buckets {
+			t.push(frame[D]{node: root, active: []int32{int32(i)}})
+		}
+	} else {
+		active := make([]int32, len(t.buckets))
+		for i := range active {
+			active[i] = int32(i)
+		}
+		t.push(frame[D]{node: root, active: active})
+	}
+	task := func() {
+		start := time.Now()
+		t.pump()
+		t.proc.AddPhase(rt.PhaseLocalTraversal, time.Since(start))
+	}
+	if t.cache.Policy() == cache.PerThread {
+		t.proc.SubmitTo(t.viewID, task)
+	} else {
+		t.proc.Submit(task)
+	}
+}
+
+// Done reports whether every frame (including paused ones) has completed.
+func (t *Traversal[D, V]) Done() bool { return t.outstanding.Load() == 0 }
+
+func (t *Traversal[D, V]) push(f frame[D]) {
+	t.outstanding.Add(1)
+	t.mu.Lock()
+	t.stack = append(t.stack, f)
+	t.mu.Unlock()
+}
+
+func (t *Traversal[D, V]) pop() (frame[D], bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) == 0 {
+		return frame[D]{}, false
+	}
+	f := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	return f, true
+}
+
+// pump drains the frame stack while holding the traversal's actor role.
+// Only one goroutine pumps at a time, giving chare-style serialization so
+// visitor writes to buckets race-free.
+func (t *Traversal[D, V]) pump() {
+	for {
+		if !t.running.CompareAndSwap(false, true) {
+			return // someone else is pumping; frames will be drained
+		}
+		start := time.Now()
+		for {
+			f, ok := t.pop()
+			if !ok {
+				break
+			}
+			t.process(f)
+		}
+		t.WorkNanos.Add(int64(time.Since(start)))
+		t.running.Store(false)
+		// Re-check: a frame may have been pushed between pop failure and
+		// clearing the flag; if so, try to become the pumper again.
+		t.mu.Lock()
+		empty := len(t.stack) == 0
+		t.mu.Unlock()
+		if empty {
+			return
+		}
+	}
+}
+
+// finishFrame retires one frame and fires onDone at zero.
+func (t *Traversal[D, V]) finishFrame() {
+	if t.outstanding.Add(-1) == 0 && t.onDone != nil {
+		t.onDone()
+	}
+}
+
+// process evaluates one frame. It may push child frames, pause on remote
+// placeholders, or apply visitor interactions.
+func (t *Traversal[D, V]) process(f frame[D]) {
+	n := f.node
+	t.NodesVisited.Add(1)
+	switch kind := n.Kind(); {
+	case kind == tree.KindRemote:
+		// No data: cannot evaluate open() — fetch unconditionally.
+		t.pause(f)
+		return
+
+	case kind == tree.KindRemoteLeaf:
+		// Data known, particles absent: evaluate open() per bucket; only
+		// buckets that open need the particles fetched.
+		var need []int32
+		for _, bi := range f.active {
+			b := t.buckets[bi]
+			if t.visitor.Open(n, b) {
+				need = append(need, bi)
+			} else {
+				t.visitor.Node(n, b)
+			}
+		}
+		if len(need) > 0 {
+			f.active = need
+			t.pause(f)
+			return
+		}
+
+	case kind == tree.KindEmptyLeaf:
+		// Nothing to interact with.
+
+	case kind.IsLeaf():
+		for _, bi := range f.active {
+			b := t.buckets[bi]
+			if t.visitor.Open(n, b) {
+				t.visitor.Leaf(n, b)
+			} else {
+				t.visitor.Node(n, b)
+			}
+		}
+
+	default: // internal (local, cached, or shared top node)
+		var remain []int32
+		for _, bi := range f.active {
+			b := t.buckets[bi]
+			if t.visitor.Open(n, b) {
+				remain = append(remain, bi)
+			} else {
+				t.visitor.Node(n, b)
+			}
+		}
+		switch {
+		case len(remain) == 0:
+		case len(remain) == 1:
+			t.pushChildrenNearFirst(n, remain)
+		default:
+			for i := 0; i < n.NumChildren(); i++ {
+				if c := n.Child(i); c != nil {
+					t.push(frame[D]{node: c, parent: n, childIdx: i, active: remain})
+				}
+			}
+		}
+	}
+	t.finishFrame()
+}
+
+// pushChildrenNearFirst pushes a single-bucket frame's children ordered
+// far-to-near from the bucket, so the LIFO stack explores the nearest
+// child first. For visitors with shrinking pruning criteria (k-nearest
+// neighbors, ball searches) this is essential: near leaves fill the heaps
+// early and distant subtrees — including remote placeholders, whose
+// extent is unknown and which are explored last, often after the radius
+// has shrunk enough to prune them without a fetch — never open.
+func (t *Traversal[D, V]) pushChildrenNearFirst(n *tree.Node[D], remain []int32) {
+	b := t.buckets[remain[0]]
+	center := b.Box.Center()
+	type child struct {
+		idx  int
+		c    *tree.Node[D]
+		dist float64
+	}
+	var order [8]child
+	count := 0
+	for i := 0; i < n.NumChildren(); i++ {
+		c := n.Child(i)
+		if c == nil {
+			continue
+		}
+		d := math.Inf(1) // unknown boxes (placeholders) explored last
+		if c.Kind().HasData() {
+			d = c.Box.DistSq(center)
+		}
+		order[count] = child{idx: i, c: c, dist: d}
+		count++
+	}
+	// Insertion sort descending by distance (push far first, pop near
+	// first); branch factors are at most 8.
+	for i := 1; i < count; i++ {
+		for j := i; j > 0 && order[j].dist > order[j-1].dist; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for i := 0; i < count; i++ {
+		t.push(frame[D]{node: order[i].c, parent: n, childIdx: order[i].idx, active: remain})
+	}
+}
+
+// pause parks the frame on the placeholder's waiter list and issues the
+// remote request (once per node per view). The frame's outstanding count
+// is carried by the parked continuation. If the fill already landed, the
+// frame is retried inline against the fresh child pointer.
+func (t *Traversal[D, V]) pause(f frame[D]) {
+	if f.parent == nil {
+		// The view root is never remote; a parentless remote frame would be
+		// a construction bug.
+		panic("traverse: remote node with no parent")
+	}
+	t.PausedCount.Add(1)
+	resume := func() {
+		start := time.Now()
+		fresh := f.parent.Child(f.childIdx)
+		t.push(frame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, active: f.active})
+		t.finishFrame() // the paused frame is replaced by the fresh one
+		t.pump()
+		t.proc.AddPhase(rt.PhaseResume, time.Since(start))
+	}
+	if !t.cache.Request(t.viewID, f.node, resume) {
+		// Lost the race with the fill: proceed inline.
+		fresh := f.parent.Child(f.childIdx)
+		t.push(frame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, active: f.active})
+		t.finishFrame()
+	}
+}

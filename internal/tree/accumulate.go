@@ -1,0 +1,66 @@
+package tree
+
+import (
+	"paratreet/internal/particle"
+	"paratreet/internal/vec"
+)
+
+// Accumulator is the paper's Data abstraction. The user defines how to
+// extract summary state from a leaf's particles (the Data(Particle*, int)
+// constructor), the empty identity (the Data() constructor), and how to
+// merge a child's state into a parent's (operator+=). The library applies
+// these from the leaves up to the root.
+//
+// Implementations must be stateless (or goroutine-safe): Accumulate may run
+// concurrently over disjoint subtrees.
+type Accumulator[D any] interface {
+	// FromLeaf extracts the Data summary of a leaf bucket.
+	FromLeaf(ps []particle.Particle, box vec.Box) D
+	// Empty returns the identity element.
+	Empty() D
+	// Add merges child into acc and returns the result.
+	Add(acc, child D) D
+}
+
+// Accumulate fills in Data for every node of a fully local subtree,
+// bottom-up, and returns the root's Data. Nodes of remote kinds are skipped
+// (their Data came over the wire).
+func Accumulate[D any](n *Node[D], acc Accumulator[D]) D {
+	if n == nil {
+		return acc.Empty()
+	}
+	switch k := n.Kind(); {
+	case k == KindLeaf:
+		n.Data = acc.FromLeaf(n.Particles, n.Box)
+	case k == KindEmptyLeaf:
+		n.Data = acc.Empty()
+	case k == KindInternal:
+		d := acc.Empty()
+		for i := 0; i < n.NumChildren(); i++ {
+			d = acc.Add(d, Accumulate(n.Child(i), acc))
+		}
+		n.Data = d
+	default:
+		// Remote kinds: Data (if any) was fetched, not accumulated.
+	}
+	return n.Data
+}
+
+// AccumulatorFuncs adapts three funcs to the Accumulator interface, for
+// compact application code and tests.
+type AccumulatorFuncs[D any] struct {
+	FromLeafFn func(ps []particle.Particle, box vec.Box) D
+	EmptyFn    func() D
+	AddFn      func(acc, child D) D
+}
+
+// FromLeaf implements Accumulator.
+func (a AccumulatorFuncs[D]) FromLeaf(ps []particle.Particle, box vec.Box) D {
+	return a.FromLeafFn(ps, box)
+}
+
+// Empty implements Accumulator.
+func (a AccumulatorFuncs[D]) Empty() D { return a.EmptyFn() }
+
+// Add implements Accumulator.
+func (a AccumulatorFuncs[D]) Add(acc, child D) D { return a.AddFn(acc, child) }

@@ -1,0 +1,163 @@
+package tree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"paratreet/internal/particle"
+	"paratreet/internal/vec"
+)
+
+// DataCodec serializes application Data for remote fills and subtree-root
+// summaries. Implementations append to the destination slice and must
+// consume exactly the bytes they produced.
+type DataCodec[D any] interface {
+	// AppendData appends the wire form of d to dst.
+	AppendData(dst []byte, d D) []byte
+	// DecodeData decodes one Data value, returning it and the bytes consumed.
+	DecodeData(b []byte) (D, int)
+}
+
+// SerializeSubtree flattens the subtree rooted at n — n itself plus
+// descendants down to maxDepth levels below it — into the collapsed byte
+// array shipped to a requesting process (Step 1 of the paper's Fig 2).
+// Shipped leaves include their particles; internal nodes at the depth cut
+// are shipped with data but their children are left for the receiver to
+// represent as placeholders. All shipped nodes must be local kinds.
+func SerializeSubtree[D any](n *Node[D], maxDepth int, codec DataCodec[D]) []byte {
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, 0) // node count, patched below
+	count := serializeNode(n, maxDepth, codec, &out)
+	binary.LittleEndian.PutUint32(out[:4], uint32(count))
+	return out
+}
+
+func serializeNode[D any](n *Node[D], depthLeft int, codec DataCodec[D], out *[]byte) int {
+	k := n.Kind()
+	if !k.IsLocal() {
+		panic(fmt.Sprintf("tree: serializing non-local node %v", n))
+	}
+	buf := *out
+	buf = binary.LittleEndian.AppendUint64(buf, n.Key)
+	wireKind := KindCachedRemote
+	if k.IsLeaf() {
+		wireKind = KindCachedRemoteLeaf
+	}
+	buf = append(buf, byte(wireKind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n.Owner))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n.NParticles))
+	for _, v := range [6]float64{n.Box.Min.X, n.Box.Min.Y, n.Box.Min.Z, n.Box.Max.X, n.Box.Max.Y, n.Box.Max.Z} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = codec.AppendData(buf, n.Data)
+	if wireKind == KindCachedRemoteLeaf {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(n.Particles)))
+		for i := range n.Particles {
+			buf = particle.AppendBinary(buf, &n.Particles[i])
+		}
+	}
+	*out = buf
+	count := 1
+	if !k.IsLeaf() && depthLeft > 0 {
+		for i := 0; i < n.NumChildren(); i++ {
+			count += serializeNode(n.Child(i), depthLeft-1, codec, out)
+		}
+	}
+	return count
+}
+
+// DeserializeSubtree reconstructs the shipped nodes (Step 2 of Fig 2),
+// wiring parent and child pointers and creating KindRemote placeholders for
+// children that were not shipped. localRoots maps the keys of this
+// process's own subtree roots to their local nodes: placeholder creation
+// checks it first so a shipped boundary that re-enters local data is wired
+// to the local subtree instead (Fig 2's hash-table check at Step 3).
+// It returns the root of the reconstructed piece.
+func DeserializeSubtree[D any](b []byte, logB uint, codec DataCodec[D], localRoots map[uint64]*Node[D]) (*Node[D], error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("tree: fill too short (%d bytes)", len(b))
+	}
+	count := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	nodes := make(map[uint64]*Node[D], count)
+	var order []*Node[D]
+	branch := 1 << logB
+	for i := 0; i < count; i++ {
+		if len(b) < 8+1+4+4+48 {
+			return nil, fmt.Errorf("tree: fill truncated at node %d", i)
+		}
+		key := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		kind := Kind(b[0])
+		b = b[1:]
+		owner := int32(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		np := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		var f [6]float64
+		for j := range f {
+			f[j] = math.Float64frombits(binary.LittleEndian.Uint64(b))
+			b = b[8:]
+		}
+		nchildren := 0
+		if kind == KindCachedRemote {
+			nchildren = branch
+		}
+		n := NewNode[D](key, KeyLevel(key, logB), kind, nchildren)
+		n.Owner = owner
+		n.NParticles = np
+		n.Box = vec.Box{Min: vec.V(f[0], f[1], f[2]), Max: vec.V(f[3], f[4], f[5])}
+		d, used := codec.DecodeData(b)
+		if used < 0 || used > len(b) {
+			return nil, fmt.Errorf("tree: data codec consumed %d of %d bytes", used, len(b))
+		}
+		n.Data = d
+		b = b[used:]
+		if kind == KindCachedRemoteLeaf {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("tree: fill truncated before particle count")
+			}
+			pc := int(binary.LittleEndian.Uint32(b))
+			b = b[4:]
+			if pc > 0 {
+				n.Particles = make([]particle.Particle, pc)
+				for j := 0; j < pc; j++ {
+					used := particle.DecodeBinary(b, &n.Particles[j])
+					if used == 0 {
+						return nil, fmt.Errorf("tree: fill truncated in particles")
+					}
+					b = b[used:]
+				}
+			}
+		}
+		nodes[key] = n
+		order = append(order, n)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("tree: empty fill")
+	}
+	root := order[0]
+	// Wire children: shipped node, local subtree root, or new placeholder.
+	for _, n := range order {
+		if n.Kind() != KindCachedRemote {
+			continue
+		}
+		for i := 0; i < branch; i++ {
+			ck := ChildKey(n.Key, i, logB)
+			if c, ok := nodes[ck]; ok {
+				n.SetChild(i, c)
+				continue
+			}
+			if lr, ok := localRoots[ck]; ok {
+				// Do not reparent the local tree; just reference it.
+				n.children[i].Store(lr)
+				continue
+			}
+			ph := NewNode[D](ck, n.Level+1, KindRemote, 0)
+			ph.Owner = n.Owner
+			n.SetChild(i, ph)
+		}
+	}
+	return root, nil
+}

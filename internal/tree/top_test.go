@@ -1,0 +1,264 @@
+package tree
+
+import (
+	"sync"
+	"testing"
+
+	"paratreet/internal/particle"
+	"paratreet/internal/sfc"
+	"paratreet/internal/vec"
+)
+
+// buildSubtrees splits a Morton-sorted particle set into nsub contiguous
+// key-range subtrees rooted at octree level `level`, as the
+// Partitions-Subtrees machinery will, and returns roots + summaries.
+func buildSubtrees(t *testing.T, n, level int) (map[uint64]*Node[countData], []RootSummary, []particle.Particle) {
+	t.Helper()
+	box := vec.UnitBox()
+	ps := uniformSorted(n, 99, box)
+	// Group particles by their level-`level` octree node key.
+	groups := map[uint64][]particle.Particle{}
+	for i := range ps {
+		key := RootKey<<(uint(level)*3) | ps[i].Key>>(3*(sfc.Bits-level))
+		groups[key] = append(groups[key], ps[i])
+	}
+	roots := map[uint64]*Node[countData]{}
+	var sums []RootSummary
+	owner := int32(0)
+	for key, group := range groups {
+		nodeBox := sfc.CellBox(key&^(RootKey<<(uint(level)*3))<<(3*(sfc.Bits-level)), level, box)
+		root := Build[countData](group, nodeBox, key, level, BuildConfig{Type: Octree, BucketSize: 8, Owner: owner})
+		Accumulate(root, countAcc{})
+		root.Owner = owner
+		roots[key] = root
+		sums = append(sums, Summarize(root, countCodec{}))
+		owner++
+	}
+	return roots, sums, ps
+}
+
+func TestBuildTopSplicesAndSummarizes(t *testing.T) {
+	roots, sums, ps := buildSubtrees(t, 3000, 2)
+	// Pretend we are the owner of the first summary only.
+	local := map[uint64]*Node[countData]{}
+	var localKey uint64
+	for key, n := range roots {
+		if n.Owner == 0 {
+			local[key] = n
+			localKey = key
+		}
+	}
+	top, err := BuildTop(sums, Octree, local, countCodec{}, countAcc{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Key != RootKey {
+		t.Fatalf("top root key %#x", top.Key)
+	}
+	if top.NParticles != len(ps) {
+		t.Errorf("top root counts %d particles, want %d", top.NParticles, len(ps))
+	}
+	if top.Data.N != len(ps) {
+		t.Errorf("top root data N=%d, want %d", top.Data.N, len(ps))
+	}
+	// The local subtree must be spliced in as the same node object.
+	var found *Node[countData]
+	Walk(top, func(n *Node[countData]) bool {
+		if n.Key == localKey {
+			found = n
+			return false
+		}
+		return true
+	})
+	if found != local[localKey] {
+		t.Error("local subtree root was not spliced by pointer")
+	}
+	// Remote subtree roots appear as data-bearing cached nodes with
+	// placeholder children.
+	remotes := 0
+	Walk(top, func(n *Node[countData]) bool {
+		if n.Kind() == KindCachedRemote && n.Owner >= 0 {
+			remotes++
+			if n.Data.N != n.NParticles {
+				t.Errorf("remote summary node %#x data N %d != np %d", n.Key, n.Data.N, n.NParticles)
+			}
+			for i := 0; i < n.NumChildren(); i++ {
+				c := n.Child(i)
+				if c == nil || c.Kind() != KindRemote || c.Owner != n.Owner {
+					t.Errorf("remote summary child %d of %#x malformed", i, n.Key)
+				}
+			}
+			return false
+		}
+		return true
+	})
+	if remotes != len(sums)-1 {
+		t.Errorf("found %d remote summary nodes, want %d", remotes, len(sums)-1)
+	}
+}
+
+func TestBuildTopLeafSummary(t *testing.T) {
+	box := vec.UnitBox()
+	ps := uniformSorted(4, 1, box)
+	logB := uint(3)
+	k0 := ChildKey(RootKey, 0, logB)
+	k1 := ChildKey(RootKey, 1, logB)
+	sums := []RootSummary{
+		{Key: k0, Owner: 0, IsLeaf: true, Box: box.OctantBox(0), NParticles: len(ps),
+			Data: countCodec{}.AppendData(nil, countData{N: len(ps), Mass: 1})},
+		{Key: k1, Owner: 1, IsLeaf: true, Box: box.OctantBox(1), NParticles: 0,
+			Data: countCodec{}.AppendData(nil, countData{})},
+	}
+	// Fill in the other 6 children as empty summaries? No: cover must be
+	// complete. Use a 2-summary cover of a binary tree instead.
+	_ = ps
+	topBin, err := BuildTop(
+		[]RootSummary{
+			{Key: 0b10, Owner: 0, IsLeaf: true, Box: box, NParticles: 2,
+				Data: countCodec{}.AppendData(nil, countData{N: 2})},
+			{Key: 0b11, Owner: 1, IsLeaf: false, Box: box, NParticles: 2,
+				Data: countCodec{}.AppendData(nil, countData{N: 2})},
+		},
+		KD, nil, countCodec{}, countAcc{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := topBin.Child(0)
+	if c0.Kind() != KindRemoteLeaf {
+		t.Errorf("leaf summary kind = %v, want remote-leaf", c0.Kind())
+	}
+	if c0.Data.N != 2 {
+		t.Errorf("leaf summary data = %+v", c0.Data)
+	}
+	c1 := topBin.Child(1)
+	if c1.Kind() != KindCachedRemote {
+		t.Errorf("internal summary kind = %v", c1.Kind())
+	}
+	_ = sums
+}
+
+func TestBuildTopErrors(t *testing.T) {
+	if _, err := BuildTop[countData](nil, Octree, nil, countCodec{}, countAcc{}); err == nil {
+		t.Error("no summaries should error")
+	}
+	d := countCodec{}.AppendData(nil, countData{})
+	dup := []RootSummary{
+		{Key: 0b10, Data: d}, {Key: 0b10, Data: d},
+	}
+	if _, err := BuildTop(dup, KD, nil, countCodec{}, countAcc{}); err == nil {
+		t.Error("duplicate keys should error")
+	}
+	// Ancestor-of-another summary.
+	bad := []RootSummary{
+		{Key: 0b10, Data: d}, {Key: 0b101, Data: d},
+	}
+	if _, err := BuildTop(bad, KD, nil, countCodec{}, countAcc{}); err == nil {
+		t.Error("nested summaries should error")
+	}
+}
+
+func TestBuildTopConcurrentPerProcViews(t *testing.T) {
+	// Each "process" builds its own top tree concurrently over the same
+	// summaries; local splicing touches only that proc's subtree roots.
+	roots, sums, _ := buildSubtrees(t, 2000, 1)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(roots))
+	for key, root := range roots {
+		wg.Add(1)
+		go func(key uint64, root *Node[countData]) {
+			defer wg.Done()
+			local := map[uint64]*Node[countData]{key: root}
+			if _, err := BuildTop(sums, Octree, local, countCodec{}, countAcc{}); err != nil {
+				errs <- err
+			}
+		}(key, root)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTopEmptyChildren(t *testing.T) {
+	// Summaries only under two octants: other octants become empty leaves.
+	box := vec.UnitBox()
+	d := countCodec{}.AppendData(nil, countData{N: 1})
+	sums := []RootSummary{
+		{Key: ChildKey(RootKey, 0, 3), Owner: 0, Box: box.OctantBox(0), NParticles: 1, Data: d},
+		{Key: ChildKey(RootKey, 5, 3), Owner: 1, Box: box.OctantBox(5), NParticles: 1, Data: d},
+	}
+	top, err := BuildTop(sums, Octree, nil, countCodec{}, countAcc{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empties := 0
+	for i := 0; i < 8; i++ {
+		if top.Child(i).Kind() == KindEmptyLeaf {
+			empties++
+		}
+	}
+	if empties != 6 {
+		t.Errorf("%d empty children, want 6", empties)
+	}
+	if top.NParticles != 2 {
+		t.Errorf("NParticles = %d", top.NParticles)
+	}
+}
+
+func TestSummarizeDepthSharesBranches(t *testing.T) {
+	roots, _, _ := buildSubtrees(t, 2000, 1)
+	for _, root := range roots {
+		if root.Kind() != KindInternal {
+			continue
+		}
+		sum := SummarizeDepth(root, countCodec{}, 2)
+		if sum.Tree == nil {
+			t.Fatal("deep summary missing tree blob")
+		}
+		// Build a top view from only this summary plus empty others is not
+		// a complete cover; instead deserialize directly and verify shape.
+		got, err := DeserializeSubtree[countData](sum.Tree, 3, countCodec{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Key != root.Key || got.NParticles != root.NParticles {
+			t.Fatal("deep summary root mismatch")
+		}
+		s := Measure(got)
+		if s.Nodes < 9 { // root + 8 children at least
+			t.Errorf("deep summary shipped only %d nodes", s.Nodes)
+		}
+		break
+	}
+}
+
+func TestBuildTopWithDeepSummaries(t *testing.T) {
+	roots, _, ps := buildSubtrees(t, 3000, 2)
+	var sums []RootSummary
+	for _, root := range roots {
+		sums = append(sums, SummarizeDepth(root, countCodec{}, 2))
+	}
+	top, err := BuildTop(sums, Octree, nil, countCodec{}, countAcc{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NParticles != len(ps) {
+		t.Errorf("top counts %d particles, want %d", top.NParticles, len(ps))
+	}
+	// Deep sharing must yield more pre-cached nodes (and deeper placeholder
+	// frontier) than root-only sharing.
+	var shallowSums []RootSummary
+	for _, root := range roots {
+		shallowSums = append(shallowSums, Summarize(root, countCodec{}))
+	}
+	shallowTop, err := BuildTop(shallowSums, Octree, nil, countCodec{}, countAcc{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deepCached := CountKind(top, KindCachedRemote) + CountKind(top, KindCachedRemoteLeaf)
+	shallowCached := CountKind(shallowTop, KindCachedRemote) + CountKind(shallowTop, KindCachedRemoteLeaf)
+	if deepCached <= shallowCached {
+		t.Errorf("deep share cached %d nodes, shallow %d", deepCached, shallowCached)
+	}
+}

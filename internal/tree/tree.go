@@ -1,0 +1,286 @@
+// Package tree implements the spatial-tree substrate of the framework:
+// node representation with atomically swappable children (the property the
+// wait-free software cache relies on), top-down tree build for octrees,
+// k-d trees, and longest-dimension trees, bottom-up Data accumulation (the
+// paper's Data abstraction), subtree serialization for remote fills, and
+// shared top-tree construction above the Subtree roots.
+package tree
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"paratreet/internal/particle"
+	"paratreet/internal/vec"
+)
+
+// Kind classifies a tree node. The cached/remote kinds mirror the paper's
+// software-cache states: a Remote node is a placeholder whose contents are
+// unknown until fetched from its home process; CachedRemote nodes carry
+// fetched data and can be evaluated by open() without communication.
+type Kind uint32
+
+const (
+	// KindInvalid is the zero Kind; no constructed node has it.
+	KindInvalid Kind = iota
+	// KindInternal is a locally owned internal node.
+	KindInternal
+	// KindLeaf is a locally owned leaf holding a bucket of particles.
+	KindLeaf
+	// KindEmptyLeaf is a locally owned leaf with no particles.
+	KindEmptyLeaf
+	// KindRemote is a placeholder for a node on another process whose data
+	// has not been fetched. Traversals must request it before evaluating it.
+	KindRemote
+	// KindRemoteLeaf is a remote leaf whose summary Data is known (e.g. a
+	// shared subtree root that happens to be a leaf) but whose particles
+	// have not been fetched; open() can be evaluated, leaf() cannot.
+	KindRemoteLeaf
+	// KindCachedRemote is a fetched remote internal node: its Data is valid
+	// but its children may still be placeholders.
+	KindCachedRemote
+	// KindCachedRemoteLeaf is a fetched remote leaf, including its particles.
+	KindCachedRemoteLeaf
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInternal:
+		return "internal"
+	case KindLeaf:
+		return "leaf"
+	case KindEmptyLeaf:
+		return "empty-leaf"
+	case KindRemote:
+		return "remote"
+	case KindRemoteLeaf:
+		return "remote-leaf"
+	case KindCachedRemote:
+		return "cached-remote"
+	case KindCachedRemoteLeaf:
+		return "cached-remote-leaf"
+	default:
+		return "invalid"
+	}
+}
+
+// IsLeaf reports whether the kind is any leaf variant.
+func (k Kind) IsLeaf() bool {
+	return k == KindLeaf || k == KindEmptyLeaf || k == KindCachedRemoteLeaf
+}
+
+// IsLocal reports whether the node's contents live on this process.
+func (k Kind) IsLocal() bool {
+	return k == KindInternal || k == KindLeaf || k == KindEmptyLeaf
+}
+
+// HasData reports whether Data (and Box/NParticles) are valid for this kind.
+func (k Kind) HasData() bool { return k != KindRemote && k != KindInvalid }
+
+// RootKey is the key of the global root node. Child keys are formed by
+// key<<log2(B) | childIndex, as in hashed-octree codes, so for octrees a
+// node's key is 1 followed by the Morton triplets of its path.
+const RootKey uint64 = 1
+
+// ChildKey returns the key of child i of the node with the given key under
+// branch factor 1<<logB.
+func ChildKey(key uint64, i int, logB uint) uint64 {
+	return key<<logB | uint64(i)
+}
+
+// ParentKey returns the key of the node's parent.
+func ParentKey(key uint64, logB uint) uint64 { return key >> logB }
+
+// KeyLevel returns the depth of a key (root is level 0).
+func KeyLevel(key uint64, logB uint) int {
+	level := -1
+	for key != 0 {
+		key >>= logB
+		level++
+	}
+	return level
+}
+
+// IsAncestorKey reports whether a is an ancestor of (or equal to) b.
+func IsAncestorKey(a, b uint64, logB uint) bool {
+	la, lb := KeyLevel(a, logB), KeyLevel(b, logB)
+	if la > lb {
+		return false
+	}
+	return b>>(uint(lb-la)*logB) == a
+}
+
+// Node is a spatial tree node adorned with application Data of type D.
+//
+// Children are atomic pointers: the software cache publishes a fetched
+// subtree by CAS-ing a placeholder child pointer to the fetched node, so
+// concurrent traversals either see the placeholder (and wait) or the fully
+// wired replacement — never a partially initialized node.
+type Node[D any] struct {
+	// Key is the node's bit-path key (see RootKey).
+	Key uint64
+	// Level is the node's depth; the root has level 0.
+	Level int
+	// Owner is the home process rank for remote nodes, the local rank for
+	// local nodes, and -1 for shared top-tree nodes.
+	Owner int32
+	// Box is the node's bounding volume. Invalid for KindRemote.
+	Box vec.Box
+	// NParticles counts the particles in the node's subtree. Invalid for
+	// KindRemote.
+	NParticles int
+	// Particles is the node's bucket; non-nil only for leaf kinds.
+	Particles []particle.Particle
+	// Data is the accumulated application data. Invalid for KindRemote.
+	Data D
+	// Parent is the node's parent; nil for the root.
+	Parent *Node[D]
+
+	kind      atomic.Uint32
+	children  []atomic.Pointer[Node[D]]
+	requested atomic.Bool
+
+	// Waiters holds paused traversal continuations for KindRemote
+	// placeholders; the cache seals and drains it when the fill arrives.
+	Waiters WaiterList
+}
+
+// NewNode constructs a node of the given kind with room for nchildren
+// children (0 for leaves).
+func NewNode[D any](key uint64, level int, kind Kind, nchildren int) *Node[D] {
+	n := &Node[D]{Key: key, Level: level, Owner: -1}
+	n.kind.Store(uint32(kind))
+	if nchildren > 0 {
+		n.children = make([]atomic.Pointer[Node[D]], nchildren)
+	}
+	return n
+}
+
+// Kind returns the node's current kind (atomically loaded).
+func (n *Node[D]) Kind() Kind { return Kind(n.kind.Load()) }
+
+// SetKind atomically updates the node's kind.
+func (n *Node[D]) SetKind(k Kind) { n.kind.Store(uint32(k)) }
+
+// NumChildren returns the node's child-slot count (the branch factor for
+// internal nodes, 0 for leaves).
+func (n *Node[D]) NumChildren() int { return len(n.children) }
+
+// Child returns the i-th child pointer (atomically loaded), or nil.
+func (n *Node[D]) Child(i int) *Node[D] {
+	if i < 0 || i >= len(n.children) {
+		return nil
+	}
+	return n.children[i].Load()
+}
+
+// SetChild stores child i (used during build, before the node is shared).
+func (n *Node[D]) SetChild(i int, c *Node[D]) {
+	c.Parent = n
+	n.children[i].Store(c)
+}
+
+// SwapChild atomically replaces child i if it currently equals old. It
+// returns true on success. This is the publication point of the wait-free
+// cache (Step 4 in the paper's Fig 2).
+func (n *Node[D]) SwapChild(i int, old, new *Node[D]) bool {
+	new.Parent = n
+	return n.children[i].CompareAndSwap(old, new)
+}
+
+// ChildIndex returns which child slot of the parent this node occupies
+// under branch factor 1<<logB.
+func (n *Node[D]) ChildIndex(logB uint) int {
+	return int(n.Key & (1<<logB - 1))
+}
+
+// TryRequest returns true exactly once per node: the first caller wins and
+// should issue the remote request (the paper's atomic requested flag).
+func (n *Node[D]) TryRequest() bool { return n.requested.CompareAndSwap(false, true) }
+
+// Requested reports whether a request has already been issued for the node.
+func (n *Node[D]) Requested() bool { return n.requested.Load() }
+
+// String implements fmt.Stringer.
+func (n *Node[D]) String() string {
+	return fmt.Sprintf("node{key=%#x level=%d kind=%s np=%d owner=%d}",
+		n.Key, n.Level, n.Kind(), n.NParticles, n.Owner)
+}
+
+// Walk visits the subtree rooted at n in depth-first pre-order, calling fn
+// for every non-nil node. If fn returns false the node's children are
+// skipped.
+func Walk[D any](n *Node[D], fn func(*Node[D]) bool) {
+	if n == nil {
+		return
+	}
+	if !fn(n) {
+		return
+	}
+	for i := 0; i < n.NumChildren(); i++ {
+		Walk(n.Child(i), fn)
+	}
+}
+
+// Leaves appends all leaf nodes of the subtree to dst and returns it.
+func Leaves[D any](n *Node[D], dst []*Node[D]) []*Node[D] {
+	Walk(n, func(m *Node[D]) bool {
+		if m.Kind().IsLeaf() {
+			dst = append(dst, m)
+		}
+		return true
+	})
+	return dst
+}
+
+// CountKind returns the number of nodes of kind k in the subtree.
+func CountKind[D any](n *Node[D], k Kind) int {
+	count := 0
+	Walk(n, func(m *Node[D]) bool {
+		if m.Kind() == k {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// Depth returns the maximum depth of the subtree relative to n (a lone
+// node has depth 0).
+func Depth[D any](n *Node[D]) int {
+	if n == nil {
+		return -1
+	}
+	max := 0
+	for i := 0; i < n.NumChildren(); i++ {
+		if d := Depth(n.Child(i)) + 1; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// FindLeafFor descends from n to the leaf whose box contains p, returning
+// nil if the descent reaches a remote placeholder or falls outside.
+func FindLeafFor[D any](n *Node[D], p vec.Vec3) *Node[D] {
+	for n != nil {
+		k := n.Kind()
+		if k.IsLeaf() {
+			return n
+		}
+		if !k.HasData() {
+			return nil
+		}
+		var next *Node[D]
+		for i := 0; i < n.NumChildren(); i++ {
+			c := n.Child(i)
+			if c != nil && c.Kind().HasData() && c.Box.Contains(p) {
+				next = c
+				break
+			}
+		}
+		n = next
+	}
+	return nil
+}

@@ -1,0 +1,462 @@
+package tree
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"paratreet/internal/particle"
+	"paratreet/internal/sfc"
+	"paratreet/internal/vec"
+)
+
+// countData is a trivial Data type for tests: particle count and mass.
+type countData struct {
+	N    int
+	Mass float64
+}
+
+type countAcc struct{}
+
+func (countAcc) FromLeaf(ps []particle.Particle, _ vec.Box) countData {
+	d := countData{N: len(ps)}
+	for i := range ps {
+		d.Mass += ps[i].Mass
+	}
+	return d
+}
+func (countAcc) Empty() countData { return countData{} }
+func (countAcc) Add(a, b countData) countData {
+	return countData{N: a.N + b.N, Mass: a.Mass + b.Mass}
+}
+
+// countCodec serializes countData for fill tests.
+type countCodec struct{}
+
+func (countCodec) AppendData(dst []byte, d countData) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(d.N))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(d.Mass))
+	return dst
+}
+func (countCodec) DecodeData(b []byte) (countData, int) {
+	return countData{
+		N:    int(binary.LittleEndian.Uint64(b)),
+		Mass: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+	}, 16
+}
+
+func uniformSorted(n int, seed int64, box vec.Box) []particle.Particle {
+	ps := particle.NewUniform(n, seed, box)
+	AssignKeys(ps, box, sfc.MortonKey)
+	return ps
+}
+
+func TestKeyHelpers(t *testing.T) {
+	if ChildKey(RootKey, 3, 3) != 0b1011 {
+		t.Errorf("ChildKey oct = %#b", ChildKey(RootKey, 3, 3))
+	}
+	if ParentKey(0b1011, 3) != RootKey {
+		t.Error("ParentKey oct")
+	}
+	if KeyLevel(RootKey, 3) != 0 || KeyLevel(0b1011, 3) != 1 || KeyLevel(0b1011011, 3) != 2 {
+		t.Error("KeyLevel oct")
+	}
+	if KeyLevel(RootKey, 1) != 0 || KeyLevel(0b10, 1) != 1 || KeyLevel(0b101, 1) != 2 {
+		t.Error("KeyLevel binary")
+	}
+	if !IsAncestorKey(RootKey, 0b1011011, 3) {
+		t.Error("root should be ancestor of everything")
+	}
+	if !IsAncestorKey(0b1011, 0b1011011, 3) {
+		t.Error("prefix ancestor check failed")
+	}
+	if IsAncestorKey(0b1010, 0b1011011, 3) {
+		t.Error("non-ancestor reported as ancestor")
+	}
+	if IsAncestorKey(0b1011011, 0b1011, 3) {
+		t.Error("descendant is not an ancestor")
+	}
+	if !IsAncestorKey(0b1011, 0b1011, 3) {
+		t.Error("a key is its own ancestor")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	for _, k := range []Kind{KindLeaf, KindEmptyLeaf, KindCachedRemoteLeaf} {
+		if !k.IsLeaf() {
+			t.Errorf("%v should be leaf", k)
+		}
+	}
+	for _, k := range []Kind{KindInternal, KindRemote, KindCachedRemote} {
+		if k.IsLeaf() {
+			t.Errorf("%v should not be leaf", k)
+		}
+	}
+	if !KindInternal.IsLocal() || KindCachedRemote.IsLocal() || KindRemote.IsLocal() {
+		t.Error("IsLocal wrong")
+	}
+	if KindRemote.HasData() || !KindRemoteLeaf.HasData() || !KindCachedRemote.HasData() {
+		t.Error("HasData wrong")
+	}
+	for k := KindInvalid; k <= KindCachedRemoteLeaf; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty String", k)
+		}
+	}
+}
+
+func buildUniform(t *testing.T, typ Type, n, bucket int) (*Node[countData], []particle.Particle) {
+	t.Helper()
+	box := vec.UnitBox()
+	ps := uniformSorted(n, 42, box)
+	root := Build[countData](ps, box, RootKey, 0, BuildConfig{Type: typ, BucketSize: bucket})
+	return root, ps
+}
+
+func TestBuildOctree(t *testing.T) {
+	root, ps := buildUniform(t, Octree, 5000, 16)
+	if err := Validate(root, Octree, 16); err != nil {
+		t.Fatal(err)
+	}
+	s := Measure(root)
+	if s.Particles != len(ps) {
+		t.Errorf("tree holds %d particles, want %d", s.Particles, len(ps))
+	}
+	if s.Remote != 0 {
+		t.Error("local build created remote nodes")
+	}
+	if s.MaxBucket > 16 {
+		t.Errorf("bucket %d > 16", s.MaxBucket)
+	}
+}
+
+func TestBuildKD(t *testing.T) {
+	root, ps := buildUniform(t, KD, 5000, 16)
+	if err := Validate(root, KD, 16); err != nil {
+		t.Fatal(err)
+	}
+	s := Measure(root)
+	if s.Particles != len(ps) {
+		t.Errorf("tree holds %d particles, want %d", s.Particles, len(ps))
+	}
+	// k-d trees are balanced: depth should be close to log2(n/bucket).
+	minDepth := int(math.Log2(5000.0/16)) - 1
+	if s.MaxDepth > minDepth+4 {
+		t.Errorf("kd depth %d too deep for balanced tree (ideal ~%d)", s.MaxDepth, minDepth)
+	}
+	if s.Empty != 0 {
+		t.Errorf("balanced kd tree should have no empty leaves, got %d", s.Empty)
+	}
+}
+
+func TestBuildLongestDim(t *testing.T) {
+	// Flat disk-like distribution: x,y in [0,10], z in [0,0.1].
+	box := vec.NewBox(vec.V(0, 0, 0), vec.V(10, 10, 0.1))
+	ps := particle.NewUniform(3000, 7, box)
+	AssignKeys(ps, box, sfc.MortonKey)
+	root := Build[countData](ps, box, RootKey, 0, BuildConfig{Type: LongestDim, BucketSize: 16})
+	if err := Validate(root, LongestDim, 16); err != nil {
+		t.Fatal(err)
+	}
+	// The longest-dimension tree should essentially never split z for this
+	// aspect ratio: all top splits divide x or y, so node boxes stay wide
+	// in z. Verify the first two levels split x or y.
+	c0 := root.Child(0)
+	if c0.Box.Dims().Z < 0.09 {
+		t.Errorf("longest-dim tree split z near the root: child box %v", c0.Box)
+	}
+}
+
+func TestBuildEmptyAndTiny(t *testing.T) {
+	box := vec.UnitBox()
+	root := Build[countData](nil, box, RootKey, 0, BuildConfig{Type: Octree})
+	if root.Kind() != KindEmptyLeaf {
+		t.Errorf("empty build kind = %v", root.Kind())
+	}
+	ps := uniformSorted(3, 1, box)
+	root = Build[countData](ps, box, RootKey, 0, BuildConfig{Type: Octree, BucketSize: 16})
+	if root.Kind() != KindLeaf || len(root.Particles) != 3 {
+		t.Errorf("tiny build should be a single leaf, got %v", root)
+	}
+}
+
+func TestBuildDepthCap(t *testing.T) {
+	// All particles at (nearly) the same point force the depth cap.
+	ps := make([]particle.Particle, 100)
+	for i := range ps {
+		ps[i] = particle.Particle{ID: int64(i), Mass: 1, Pos: vec.V(0.5, 0.5, 0.5)}
+	}
+	box := vec.UnitBox()
+	AssignKeys(ps, box, sfc.MortonKey)
+	root := Build[countData](ps, box, RootKey, 0, BuildConfig{Type: Octree, BucketSize: 2, MaxDepth: 4})
+	s := Measure(root)
+	if s.MaxDepth > 4 {
+		t.Errorf("depth %d exceeds cap 4", s.MaxDepth)
+	}
+	if s.Particles != 100 {
+		t.Errorf("lost particles: %d", s.Particles)
+	}
+	// Oversized leaf allowed under cap; Validate with maxBucket<=0 skips.
+	if err := Validate(root, Octree, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulate(t *testing.T) {
+	root, ps := buildUniform(t, Octree, 2000, 8)
+	got := Accumulate(root, countAcc{})
+	if got.N != len(ps) {
+		t.Errorf("accumulated N = %d, want %d", got.N, len(ps))
+	}
+	wantMass := particle.TotalMass(ps)
+	if math.Abs(got.Mass-wantMass) > 1e-9 {
+		t.Errorf("accumulated mass = %v, want %v", got.Mass, wantMass)
+	}
+	// Every internal node's Data must equal the sum over its children.
+	Walk(root, func(n *Node[countData]) bool {
+		if n.Kind() == KindInternal {
+			var sum countData
+			for i := 0; i < n.NumChildren(); i++ {
+				c := n.Child(i)
+				sum.N += c.Data.N
+				sum.Mass += c.Data.Mass
+			}
+			if sum.N != n.Data.N {
+				t.Errorf("node %#x data N %d != children sum %d", n.Key, n.Data.N, sum.N)
+			}
+		}
+		return true
+	})
+}
+
+func TestAccumulatorFuncs(t *testing.T) {
+	af := AccumulatorFuncs[int]{
+		FromLeafFn: func(ps []particle.Particle, _ vec.Box) int { return len(ps) },
+		EmptyFn:    func() int { return 0 },
+		AddFn:      func(a, b int) int { return a + b },
+	}
+	box := vec.UnitBox()
+	ps := uniformSorted(500, 3, box)
+	root := Build[int](ps, box, RootKey, 0, BuildConfig{Type: KD, BucketSize: 8})
+	if got := Accumulate[int](root, af); got != 500 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestWalkAndLeaves(t *testing.T) {
+	root, _ := buildUniform(t, Octree, 1000, 10)
+	visits := 0
+	Walk(root, func(n *Node[countData]) bool { visits++; return true })
+	if visits != Measure(root).Nodes {
+		t.Errorf("Walk visited %d, Measure says %d", visits, Measure(root).Nodes)
+	}
+	// Prune at root: only 1 visit.
+	visits = 0
+	Walk(root, func(n *Node[countData]) bool { visits++; return false })
+	if visits != 1 {
+		t.Errorf("pruned walk visited %d", visits)
+	}
+	ls := Leaves(root, nil)
+	total := 0
+	for _, l := range ls {
+		if !l.Kind().IsLeaf() {
+			t.Errorf("Leaves returned non-leaf %v", l)
+		}
+		total += len(l.Particles)
+	}
+	if total != 1000 {
+		t.Errorf("leaves hold %d particles", total)
+	}
+}
+
+func TestFindLeafFor(t *testing.T) {
+	root, ps := buildUniform(t, Octree, 2000, 16)
+	for i := 0; i < 50; i++ {
+		p := ps[i*37%len(ps)]
+		leaf := FindLeafFor(root, p.Pos)
+		if leaf == nil {
+			t.Fatalf("no leaf for %v", p.Pos)
+		}
+		found := false
+		for j := range leaf.Particles {
+			if leaf.Particles[j].ID == p.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("leaf %v does not hold particle %d", leaf, p.ID)
+		}
+	}
+	if FindLeafFor(root, vec.V(99, 99, 99)) != nil {
+		t.Error("found leaf for external point")
+	}
+}
+
+func TestTryRequestOnce(t *testing.T) {
+	n := NewNode[countData](2, 1, KindRemote, 0)
+	if !n.TryRequest() {
+		t.Error("first TryRequest should win")
+	}
+	if n.TryRequest() {
+		t.Error("second TryRequest should lose")
+	}
+	if !n.Requested() {
+		t.Error("Requested should be true")
+	}
+}
+
+func TestSwapChild(t *testing.T) {
+	parent := NewNode[countData](RootKey, 0, KindInternal, 8)
+	ph := NewNode[countData](ChildKey(RootKey, 2, 3), 1, KindRemote, 0)
+	parent.SetChild(2, ph)
+	repl := NewNode[countData](ph.Key, 1, KindCachedRemote, 8)
+	if !parent.SwapChild(2, ph, repl) {
+		t.Fatal("swap should succeed")
+	}
+	if parent.Child(2) != repl {
+		t.Error("child not replaced")
+	}
+	if repl.Parent != parent {
+		t.Error("parent pointer not set")
+	}
+	// Second swap with stale old value fails.
+	if parent.SwapChild(2, ph, NewNode[countData](ph.Key, 1, KindCachedRemote, 8)) {
+		t.Error("stale swap should fail")
+	}
+	if parent.Child(99) != nil || parent.Child(-1) != nil {
+		t.Error("out-of-range Child should be nil")
+	}
+}
+
+func TestChildIndex(t *testing.T) {
+	n := NewNode[countData](0b1101, 1, KindLeaf, 0)
+	if n.ChildIndex(3) != 5 {
+		t.Errorf("ChildIndex oct = %d, want 5", n.ChildIndex(3))
+	}
+	b := NewNode[countData](0b101, 2, KindLeaf, 0)
+	if b.ChildIndex(1) != 1 {
+		t.Errorf("ChildIndex binary = %d, want 1", b.ChildIndex(1))
+	}
+}
+
+func TestSerializeDeserializeRoundTrip(t *testing.T) {
+	root, _ := buildUniform(t, Octree, 800, 8)
+	Accumulate(root, countAcc{})
+	for _, depth := range []int{0, 1, 3, 100} {
+		blob := SerializeSubtree(root, depth, countCodec{})
+		got, err := DeserializeSubtree[countData](blob, 3, countCodec{}, nil)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if got.Key != root.Key || got.NParticles != root.NParticles {
+			t.Fatalf("depth %d: root mismatch %v vs %v", depth, got, root)
+		}
+		if got.Data != root.Data {
+			t.Fatalf("depth %d: data mismatch %+v vs %+v", depth, got.Data, root.Data)
+		}
+		if got.Box != root.Box {
+			t.Fatalf("depth %d: box mismatch", depth)
+		}
+		s := Measure(got)
+		if depth >= Depth(root) {
+			// Everything shipped; particle counts must match and there must
+			// be no placeholders.
+			if s.Remote != 0 {
+				t.Fatalf("full ship left %d placeholders", s.Remote)
+			}
+			if s.Particles != 800 {
+				t.Fatalf("full ship holds %d particles", s.Particles)
+			}
+		} else if Depth(root) > depth {
+			// Cut subtree: shipped internal nodes at the boundary must have
+			// remote placeholder children with the right owner and keys.
+			found := false
+			Walk(got, func(n *Node[countData]) bool {
+				if n.Kind() == KindRemote {
+					found = true
+					if n.Owner != root.Owner {
+						t.Errorf("placeholder owner %d", n.Owner)
+					}
+					if n.Parent == nil || !IsAncestorKey(n.Parent.Key, n.Key, 3) {
+						t.Error("placeholder not wired to parent")
+					}
+				}
+				return true
+			})
+			if !found && Depth(root) > depth {
+				t.Fatalf("depth %d: expected placeholders below the cut", depth)
+			}
+		}
+	}
+}
+
+func TestDeserializeChecksLocalRoots(t *testing.T) {
+	root, _ := buildUniform(t, Octree, 500, 8)
+	Accumulate(root, countAcc{})
+	// Pretend child 0 of the root is one of *our* local subtree roots.
+	localKey := ChildKey(RootKey, 0, 3)
+	local := NewNode[countData](localKey, 1, KindInternal, 8)
+	localRoots := map[uint64]*Node[countData]{localKey: local}
+	blob := SerializeSubtree(root, 0, countCodec{}) // ship only the root
+	got, err := DeserializeSubtree[countData](blob, 3, countCodec{}, localRoots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Child(0) != local {
+		t.Error("deserialize did not splice local root from hash table")
+	}
+	if local.Parent != nil {
+		t.Error("splice must not reparent the local root")
+	}
+	if got.Child(1) == nil || got.Child(1).Kind() != KindRemote {
+		t.Error("non-local children should be placeholders")
+	}
+}
+
+func TestDeserializeErrors(t *testing.T) {
+	if _, err := DeserializeSubtree[countData](nil, 3, countCodec{}, nil); err == nil {
+		t.Error("nil blob should error")
+	}
+	if _, err := DeserializeSubtree[countData]([]byte{1, 0, 0, 0, 5}, 3, countCodec{}, nil); err == nil {
+		t.Error("truncated blob should error")
+	}
+	blob := binary.LittleEndian.AppendUint32(nil, 0)
+	if _, err := DeserializeSubtree[countData](blob, 3, countCodec{}, nil); err == nil {
+		t.Error("empty fill should error")
+	}
+}
+
+func TestSerializeLeafParticles(t *testing.T) {
+	box := vec.UnitBox()
+	ps := uniformSorted(5, 11, box)
+	ps[2].Vel = vec.V(1, 2, 3)
+	root := Build[countData](ps, box, RootKey, 0, BuildConfig{Type: Octree, BucketSize: 16})
+	Accumulate(root, countAcc{})
+	blob := SerializeSubtree(root, 5, countCodec{})
+	got, err := DeserializeSubtree[countData](blob, 3, countCodec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind() != KindCachedRemoteLeaf {
+		t.Fatalf("kind = %v", got.Kind())
+	}
+	if len(got.Particles) != 5 {
+		t.Fatalf("particles = %d", len(got.Particles))
+	}
+	for i := range ps {
+		if got.Particles[i].ID != ps[i].ID || got.Particles[i].Pos != ps[i].Pos ||
+			got.Particles[i].Vel != ps[i].Vel || got.Particles[i].Key != ps[i].Key {
+			t.Fatalf("particle %d mismatch", i)
+		}
+	}
+}
+
+func TestSerializePanicsOnRemote(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n := NewNode[countData](RootKey, 0, KindRemote, 0)
+	SerializeSubtree(n, 1, countCodec{})
+}

@@ -1,0 +1,126 @@
+package tree
+
+import (
+	"fmt"
+)
+
+// Stats summarizes a subtree for diagnostics and tests.
+type Stats struct {
+	Nodes, Internal, Leaves, Empty, Remote int
+	Particles                              int
+	MaxDepth                               int
+	MaxBucket                              int
+}
+
+// Measure walks the subtree and collects Stats.
+func Measure[D any](n *Node[D]) Stats {
+	var s Stats
+	measure(n, 0, &s)
+	return s
+}
+
+func measure[D any](n *Node[D], depth int, s *Stats) {
+	if n == nil {
+		return
+	}
+	s.Nodes++
+	if depth > s.MaxDepth {
+		s.MaxDepth = depth
+	}
+	switch k := n.Kind(); k {
+	case KindInternal, KindCachedRemote:
+		s.Internal++
+	case KindLeaf, KindCachedRemoteLeaf:
+		s.Leaves++
+		s.Particles += len(n.Particles)
+		if len(n.Particles) > s.MaxBucket {
+			s.MaxBucket = len(n.Particles)
+		}
+	case KindEmptyLeaf:
+		s.Empty++
+	case KindRemote, KindRemoteLeaf:
+		s.Remote++
+	}
+	for i := 0; i < n.NumChildren(); i++ {
+		measure(n.Child(i), depth+1, s)
+	}
+}
+
+// Validate checks the structural invariants of a fully local subtree:
+// child keys and levels derive from the parent's, particle counts of
+// internal nodes equal the sum of their children's, every particle lies in
+// its leaf's box, and leaves respect the bucket size (unless depth-capped,
+// which callers can allow via maxBucket<=0). It returns the first violation
+// found, or nil.
+func Validate[D any](n *Node[D], t Type, maxBucket int) error {
+	return validate(n, t, maxBucket, true)
+}
+
+func validate[D any](n *Node[D], t Type, maxBucket int, isRoot bool) error {
+	if n == nil {
+		return fmt.Errorf("tree: nil node")
+	}
+	logB := t.LogB()
+	if got := KeyLevel(n.Key, logB); got != n.Level {
+		return fmt.Errorf("tree: node %#x level %d, key implies %d", n.Key, n.Level, got)
+	}
+	k := n.Kind()
+	if k.IsLeaf() {
+		if maxBucket > 0 && len(n.Particles) > maxBucket {
+			return fmt.Errorf("tree: leaf %#x holds %d > %d particles", n.Key, len(n.Particles), maxBucket)
+		}
+		for i := range n.Particles {
+			if !n.Box.Pad(1e-12).Contains(n.Particles[i].Pos) {
+				return fmt.Errorf("tree: particle %d escapes leaf %#x box %v (pos %v)",
+					n.Particles[i].ID, n.Key, n.Box, n.Particles[i].Pos)
+			}
+		}
+		if k == KindLeaf && n.NParticles != len(n.Particles) {
+			return fmt.Errorf("tree: leaf %#x NParticles %d != len %d", n.Key, n.NParticles, len(n.Particles))
+		}
+		return nil
+	}
+	if k == KindRemote {
+		return nil // nothing verifiable locally
+	}
+	sum := 0
+	for i := 0; i < n.NumChildren(); i++ {
+		c := n.Child(i)
+		if c == nil {
+			return fmt.Errorf("tree: internal node %#x missing child %d", n.Key, i)
+		}
+		if want := ChildKey(n.Key, i, logB); c.Key != want {
+			return fmt.Errorf("tree: child %d of %#x has key %#x, want %#x", i, n.Key, c.Key, want)
+		}
+		if c.Parent != n && !isSpliced(c, n) {
+			return fmt.Errorf("tree: child %#x parent pointer broken", c.Key)
+		}
+		if c.Kind().HasData() && !n.Box.IsEmpty() && !c.Box.IsEmpty() &&
+			!n.Box.Pad(1e-12).ContainsBox(c.Box) {
+			return fmt.Errorf("tree: child %#x box %v escapes parent box %v", c.Key, c.Box, n.Box)
+		}
+		if c.Kind().HasData() {
+			sum += c.NParticles
+		}
+		if err := validate(c, t, maxBucket, false); err != nil {
+			return err
+		}
+	}
+	// Only verify the particle-count sum when every child's count is known.
+	allKnown := true
+	for i := 0; i < n.NumChildren(); i++ {
+		if !n.Child(i).Kind().HasData() {
+			allKnown = false
+		}
+	}
+	if allKnown && k.IsLocal() && sum != n.NParticles {
+		return fmt.Errorf("tree: node %#x NParticles %d != children sum %d", n.Key, n.NParticles, sum)
+	}
+	return nil
+}
+
+// isSpliced reports whether c is a local subtree root referenced (not
+// reparented) by a top-tree node.
+func isSpliced[D any](c, parent *Node[D]) bool {
+	return c.Parent == nil || c.Parent.Key == parent.Key
+}

@@ -1,0 +1,75 @@
+package tree
+
+import "sync/atomic"
+
+// WaiterList is a lock-free Treiber stack of paused-traversal continuations
+// attached to a remote placeholder node.
+//
+// Protocol: a traversal that reaches a placeholder calls Add with its resume
+// function. The cache, after atomically publishing the fetched replacement
+// node, calls Seal exactly once; Seal atomically ends the list's life and
+// returns every continuation added before it. An Add that loses the race
+// with Seal returns false, telling the traversal the fill has already been
+// published — it should re-read the parent's child pointer and continue
+// inline. This pairing guarantees no continuation is ever lost: every Add
+// either lands in the drained list or observes the sealed state.
+type WaiterList struct {
+	head atomic.Pointer[waiterNode]
+}
+
+type waiterNode struct {
+	fn   func()
+	next *waiterNode
+}
+
+// sealedSentinel marks a sealed list. It is never dereferenced for fn.
+var sealedSentinel = &waiterNode{}
+
+// Add pushes a continuation; it returns false if the list is already
+// sealed, in which case fn has NOT been registered and the caller must
+// proceed itself.
+func (w *WaiterList) Add(fn func()) bool {
+	node := &waiterNode{fn: fn}
+	for {
+		head := w.head.Load()
+		if head == sealedSentinel {
+			return false
+		}
+		node.next = head
+		if w.head.CompareAndSwap(head, node) {
+			return true
+		}
+	}
+}
+
+// Seal atomically marks the list sealed and returns all previously added
+// continuations in LIFO order. Subsequent Add calls return false; a second
+// Seal returns nil.
+func (w *WaiterList) Seal() []func() {
+	head := w.head.Swap(sealedSentinel)
+	if head == sealedSentinel {
+		return nil
+	}
+	var fns []func()
+	for n := head; n != nil; n = n.next {
+		fns = append(fns, n.fn)
+	}
+	return fns
+}
+
+// Sealed reports whether Seal has been called.
+func (w *WaiterList) Sealed() bool { return w.head.Load() == sealedSentinel }
+
+// Len returns the number of pending continuations (0 once sealed). It is a
+// snapshot, for tests and metrics only.
+func (w *WaiterList) Len() int {
+	n := w.head.Load()
+	if n == sealedSentinel {
+		return 0
+	}
+	count := 0
+	for ; n != nil; n = n.next {
+		count++
+	}
+	return count
+}

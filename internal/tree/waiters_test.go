@@ -1,0 +1,102 @@
+package tree
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWaiterListBasic(t *testing.T) {
+	var w WaiterList
+	if w.Sealed() {
+		t.Error("new list should not be sealed")
+	}
+	ran := 0
+	if !w.Add(func() { ran++ }) {
+		t.Fatal("Add on fresh list failed")
+	}
+	if !w.Add(func() { ran += 10 }) {
+		t.Fatal("second Add failed")
+	}
+	if w.Len() != 2 {
+		t.Errorf("Len = %d", w.Len())
+	}
+	fns := w.Seal()
+	if len(fns) != 2 {
+		t.Fatalf("Seal drained %d", len(fns))
+	}
+	for _, fn := range fns {
+		fn()
+	}
+	if ran != 11 {
+		t.Errorf("ran = %d", ran)
+	}
+	if !w.Sealed() || w.Len() != 0 {
+		t.Error("list should be sealed and empty")
+	}
+	if w.Add(func() {}) {
+		t.Error("Add after Seal should fail")
+	}
+	if w.Seal() != nil {
+		t.Error("second Seal should return nil")
+	}
+}
+
+// TestWaiterListNoLostWakeups hammers Add against Seal: every continuation
+// must either be drained by Seal or told to proceed itself (Add==false).
+// Exactly one of the two must happen for each of N continuations.
+func TestWaiterListNoLostWakeups(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		var w WaiterList
+		const adders = 8
+		var drained atomic.Int64  // continuations run via Seal
+		var rejected atomic.Int64 // Adds that observed sealed
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for a := 0; a < adders; a++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if !w.Add(func() { drained.Add(1) }) {
+					rejected.Add(1)
+				}
+			}()
+		}
+		sealed := make(chan []func(), 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			sealed <- w.Seal()
+		}()
+		close(start)
+		wg.Wait()
+		for _, fn := range <-sealed {
+			fn()
+		}
+		// Late adds after the seal must also be rejected, so drain any
+		// stragglers accounting: total must be exactly adders.
+		if got := drained.Load() + rejected.Load(); got != adders {
+			t.Fatalf("trial %d: drained %d + rejected %d != %d",
+				trial, drained.Load(), rejected.Load(), adders)
+		}
+	}
+}
+
+func TestWaiterListLIFO(t *testing.T) {
+	var w WaiterList
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		w.Add(func() { order = append(order, i) })
+	}
+	for _, fn := range w.Seal() {
+		fn()
+	}
+	for i, v := range order {
+		if v != 4-i {
+			t.Fatalf("order = %v, want LIFO", order)
+		}
+	}
+}

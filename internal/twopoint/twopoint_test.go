@@ -1,0 +1,154 @@
+package twopoint_test
+
+import (
+	"math"
+	"testing"
+
+	"paratreet"
+	"paratreet/internal/knn"
+	"paratreet/internal/particle"
+	"paratreet/internal/twopoint"
+	"paratreet/internal/vec"
+)
+
+func TestBinsIndexing(t *testing.T) {
+	b := twopoint.NewBins(0.01, 1, 10)
+	if len(b.Edges) != 11 {
+		t.Fatalf("edges %d", len(b.Edges))
+	}
+	if b.Edges[0] != 0.01 || math.Abs(b.Edges[10]-1) > 1e-12 {
+		t.Errorf("edge range [%v, %v]", b.Edges[0], b.Edges[10])
+	}
+	b.Add(0.005, 5) // below range: dropped
+	b.Add(1.5, 5)   // above range: dropped
+	b.Add(0.02, 3)
+	total := int64(0)
+	for _, c := range b.Counts() {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("total %d", total)
+	}
+}
+
+func TestBinsMerge(t *testing.T) {
+	a := twopoint.NewBins(0.1, 1, 4)
+	b := twopoint.NewBins(0.1, 1, 4)
+	a.Add(0.2, 1)
+	b.Add(0.2, 2)
+	b.Add(0.9, 5)
+	a.Merge(b)
+	counts := a.Counts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 8 {
+		t.Errorf("merged total %d", total)
+	}
+}
+
+// runTwoPoint counts pairs through the framework's dual-tree traversal.
+func runTwoPoint(t *testing.T, ps []particle.Particle, bins *twopoint.Bins, procs, workers int) []int64 {
+	t.Helper()
+	sim, err := paratreet.NewSimulation[knn.Data](paratreet.Config{
+		Procs: procs, WorkersPerProc: workers,
+		Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC, BucketSize: 16,
+	}, knn.Accumulator{}, knn.Codec{}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	driver := paratreet.DriverFuncs[knn.Data]{
+		TraversalFn: func(s *paratreet.Simulation[knn.Data], iter int) {
+			paratreet.StartDual(s, 4, func(p *paratreet.Partition[knn.Data]) twopoint.Visitor {
+				return twopoint.Visitor{Bins: bins}
+			})
+		},
+	}
+	if err := sim.Run(1, driver); err != nil {
+		t.Fatal(err)
+	}
+	// Every unordered pair was counted once from each side.
+	counts := bins.Counts()
+	for i := range counts {
+		if counts[i]%2 != 0 {
+			t.Fatalf("bin %d has odd double-count %d", i, counts[i])
+		}
+		counts[i] /= 2
+	}
+	return counts
+}
+
+func TestDualTreeMatchesBruteForce(t *testing.T) {
+	for _, gen := range []struct {
+		name string
+		ps   []particle.Particle
+	}{
+		{"uniform", particle.NewUniform(800, 3, vec.UnitBox())},
+		{"clustered", particle.NewClustered(800, 4, vec.UnitBox(), 4)},
+	} {
+		t.Run(gen.name, func(t *testing.T) {
+			bins := twopoint.NewBins(0.01, 1.8, 12)
+			want := twopoint.BruteForce(gen.ps, bins).Counts()
+			got := runTwoPoint(t, particle.Clone(gen.ps), bins, 2, 2)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("bin %d: got %d, want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestXiUniformNearZeroClusteredPositive(t *testing.T) {
+	const n = 3000
+	box := vec.UnitBox()
+
+	uni := particle.NewUniform(n, 5, box)
+	binsU := twopoint.NewBins(0.02, 0.3, 8)
+	ddU := runTwoPoint(t, uni, binsU, 2, 2)
+	xiU := twopoint.Xi(ddU, binsU.Edges, n, 1.0)
+
+	cl := particle.NewClustered(n, 6, box, 5)
+	// Clustered sets can spill slightly outside the unit box (Plummer
+	// tails); compute the actual volume for the RR normalization.
+	cbox := particle.BoundingBox(cl)
+	binsC := twopoint.NewBins(0.02, 0.3, 8)
+	ddC := runTwoPoint(t, cl, binsC, 2, 2)
+	xiC := twopoint.Xi(ddC, binsC.Edges, n, cbox.Volume())
+
+	// Uniform: |xi| small at intermediate r (edge effects make the largest
+	// bins biased; check the middle).
+	for i := 2; i < 6; i++ {
+		if math.Abs(xiU[i]) > 0.5 {
+			t.Errorf("uniform xi[%d] = %v, want ~0", i, xiU[i])
+		}
+	}
+	// Clustered: strong positive correlation at the smallest separations.
+	if xiC[0] < 3 {
+		t.Errorf("clustered xi[0] = %v, want strongly positive", xiC[0])
+	}
+	if xiC[0] < xiU[0]+3 {
+		t.Errorf("clustered xi[0]=%v not well above uniform %v", xiC[0], xiU[0])
+	}
+}
+
+func TestDualTreePruningHappens(t *testing.T) {
+	// The dual-tree algorithm must not do O(N²) work: with wide bins most
+	// node pairs are approximated. We verify via brute-force equality
+	// (above) plus a sanity check that the traversal finishes fast even
+	// for n where N² pairs would be slow — here just confirm counts scale.
+	ps := particle.NewUniform(5000, 7, vec.UnitBox())
+	bins := twopoint.NewBins(0.05, 1.7, 4)
+	got := runTwoPoint(t, ps, bins, 1, 2)
+	var total int64
+	for _, c := range got {
+		total += c
+	}
+	// Almost every pair separation lies in [0.05, 1.7) for a unit box.
+	want := int64(5000) * 4999 / 2
+	if total < want*95/100 || total > want {
+		t.Errorf("total pairs %d, want ~%d", total, want)
+	}
+}

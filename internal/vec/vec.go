@@ -1,0 +1,108 @@
+// Package vec provides the 3-D vector, axis-aligned bounding box, and sphere
+// geometry primitives that underlie spatial tree construction and the
+// open()-style pruning predicates of tree traversals.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-D vector of float64 components.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V constructs a Vec3. Packages outside vec should prefer V over composite
+// literals so go vet's unkeyed-field check stays clean.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns a * s.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+// Neg returns -a.
+func (a Vec3) Neg() Vec3 { return Vec3{-a.X, -a.Y, -a.Z} }
+
+// Dot returns the dot product a · b.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product a × b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// NormSq returns |a|².
+func (a Vec3) NormSq() float64 { return a.Dot(a) }
+
+// Norm returns |a|.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.NormSq()) }
+
+// DistSq returns |a-b|².
+func (a Vec3) DistSq(b Vec3) float64 { return a.Sub(b).NormSq() }
+
+// Dist returns |a-b|.
+func (a Vec3) Dist(b Vec3) float64 { return math.Sqrt(a.DistSq(b)) }
+
+// Normalized returns a / |a|. The zero vector is returned unchanged.
+func (a Vec3) Normalized() Vec3 {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// Component returns the d-th component (0=X, 1=Y, 2=Z).
+func (a Vec3) Component(d int) float64 {
+	switch d {
+	case 0:
+		return a.X
+	case 1:
+		return a.Y
+	default:
+		return a.Z
+	}
+}
+
+// WithComponent returns a copy of a with the d-th component set to v.
+func (a Vec3) WithComponent(d int, v float64) Vec3 {
+	switch d {
+	case 0:
+		a.X = v
+	case 1:
+		a.Y = v
+	default:
+		a.Z = v
+	}
+	return a
+}
+
+// Min returns the component-wise minimum of a and b.
+func (a Vec3) Min(b Vec3) Vec3 {
+	return Vec3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)}
+}
+
+// Max returns the component-wise maximum of a and b.
+func (a Vec3) Max(b Vec3) Vec3 {
+	return Vec3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)}
+}
+
+// IsFinite reports whether all components are finite (no NaN or Inf).
+func (a Vec3) IsFinite() bool {
+	return !math.IsNaN(a.X) && !math.IsInf(a.X, 0) &&
+		!math.IsNaN(a.Y) && !math.IsInf(a.Y, 0) &&
+		!math.IsNaN(a.Z) && !math.IsInf(a.Z, 0)
+}
+
+// String implements fmt.Stringer.
+func (a Vec3) String() string { return fmt.Sprintf("(%g, %g, %g)", a.X, a.Y, a.Z) }
