@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test vet race bench fuzz ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-mode gate: short mode keeps the differential crossproduct and the
+# larger integration runs at smoke scale so the -race schedule finishes
+# quickly while still exercising every concurrent code path.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Brief fuzz pass over the SFC encode/decode pairs (property seeds run in
+# plain `make test`; this additionally explores random inputs).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzMortonRoundTrip -fuzztime 10s ./internal/sfc
+	$(GO) test -run '^$$' -fuzz FuzzHilbertRoundTrip -fuzztime 10s ./internal/sfc
+
+ci:
+	./scripts/ci.sh

@@ -604,6 +604,36 @@ func BenchmarkTwoPointCorrelation(b *testing.B) {
 	}
 }
 
+// BenchmarkMetricsOverhead compares a gravity iteration with metrics
+// disabled (the default nil-registry path), with counters enabled, and
+// with counters plus tracing — the disabled variant is the regression
+// guard for the "near-zero overhead off" design goal.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	par := gravity.Params{G: 1, Theta: 0.6, Soft: 1e-4}
+	variants := []struct {
+		name string
+		reg  func() *paratreet.MetricsRegistry
+	}{
+		{"disabled", func() *paratreet.MetricsRegistry { return nil }},
+		{"counters", func() *paratreet.MetricsRegistry {
+			return paratreet.NewMetricsRegistry(paratreet.MetricsOptions{})
+		}},
+		{"counters+trace", func() *paratreet.MetricsRegistry {
+			return paratreet.NewMetricsRegistry(paratreet.MetricsOptions{TraceCapacity: 1 << 16})
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			ps := particle.NewClustered(benchN, 42, benchBox(), 8)
+			iterateGravity(b, paratreet.Config{
+				Procs: benchProcs, WorkersPerProc: benchWPP,
+				Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
+				BucketSize: benchBucket, Metrics: v.reg(),
+			}, ps, gravityBenchDriver(par))
+		})
+	}
+}
+
 // BenchmarkShareDepthAblation sweeps the branch-node sharing knob.
 func BenchmarkShareDepthAblation(b *testing.B) {
 	par := gravity.Params{G: 1, Theta: 0.6, Soft: 1e-4}

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -23,12 +25,15 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 0, "particle count (0 = experiment default)")
-		iters   = flag.Int("iters", 0, "measured iterations (0 = default)")
-		workers = flag.String("workers", "", "comma-separated worker sweep, e.g. 1,2,4,8")
-		wpp     = flag.Int("wpp", 0, "workers per simulated process (0 = default)")
-		quick   = flag.Bool("quick", false, "fast smoke-test scale")
-		seed    = flag.Int64("seed", 42, "dataset seed")
+		n          = flag.Int("n", 0, "particle count (0 = experiment default)")
+		iters      = flag.Int("iters", 0, "measured iterations (0 = default)")
+		workers    = flag.String("workers", "", "comma-separated worker sweep, e.g. 1,2,4,8")
+		wpp        = flag.Int("wpp", 0, "workers per simulated process (0 = default)")
+		quick      = flag.Bool("quick", false, "fast smoke-test scale")
+		seed       = flag.Int64("seed", 42, "dataset seed")
+		useMetrics = flag.Bool("metrics", false, "collect observability snapshots and emit them as JSON")
+		metricsOut = flag.String("metrics-out", "-", "metrics JSON destination: - for stdout, or a file path")
+		traceCap   = flag.Int("trace", 0, "trace-span ring capacity per run (0 = tracing off; implies -metrics)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>\n", os.Args[0])
@@ -65,47 +70,63 @@ func main() {
 			opts.Workers = append(opts.Workers, v)
 		}
 	}
+	if *useMetrics || *traceCap > 0 {
+		opts.Metrics = &experiments.MetricsCollector{TraceCapacity: *traceCap}
+	}
 
 	name := flag.Arg(0)
 	if name == "all" {
 		for _, exp := range []string{"table1", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "table3", "lb", "fetchdepth", "sharedepth", "style"} {
-			run(exp, opts, *quick)
+			if err := run(os.Stdout, exp, opts, *quick); err != nil {
+				fatal(err)
+			}
 			fmt.Println()
 		}
-		return
+	} else if err := run(os.Stdout, name, opts, *quick); err != nil {
+		fatal(err)
 	}
-	run(name, opts, *quick)
+
+	if opts.Metrics != nil {
+		if err := emitMetrics(os.Stdout, *metricsOut, opts.Metrics); err != nil {
+			fatal(err)
+		}
+	}
 }
 
-func run(name string, opts experiments.Options, quick bool) {
+// run executes one named experiment and writes its text rendering to w.
+func run(w io.Writer, name string, opts experiments.Options, quick bool) error {
+	var res *experiments.Result
+	var err error
 	switch name {
 	case "table1":
-		fmt.Print(experiments.RunTable1())
+		fmt.Fprint(w, experiments.RunTable1())
+		return nil
 	case "fig3":
-		print1(experiments.RunFig3(opts))
+		res, err = experiments.RunFig3(opts)
 	case "fig9":
-		print1(experiments.RunFig9(opts))
+		res, err = experiments.RunFig9(opts)
 	case "fig10":
-		print1(experiments.RunFig10(opts))
+		res, err = experiments.RunFig10(opts)
 	case "fig11":
-		print1(experiments.RunFig11(opts))
+		res, err = experiments.RunFig11(opts)
 	case "fig12":
 		dopts := experiments.DefaultDiskOptions()
 		dopts.Seed = opts.Seed
 		if quick {
 			dopts.N, dopts.Steps = 4000, 15
 		}
-		res, err := experiments.RunFig12(dopts)
+		dres, err := experiments.RunFig12(dopts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(res.Format())
+		fmt.Fprint(w, dres.Format())
+		return nil
 	case "fig13":
 		fopts := opts
 		if fopts.N > 20000 {
 			fopts.N = 20000
 		}
-		print1(experiments.RunFig13(fopts))
+		res, err = experiments.RunFig13(fopts)
 	case "table2":
 		n := 100000
 		cpus := []int{1, 2, 4, 8, 16}
@@ -114,37 +135,58 @@ func run(name string, opts experiments.Options, quick bool) {
 		}
 		rows, err := experiments.RunTable2(n, cpus, max(1, opts.Iters-1), opts.Seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(experiments.FormatTable2(rows))
+		fmt.Fprint(w, experiments.FormatTable2(rows))
+		return nil
 	case "table3":
 		root, err := repoRoot()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		out, err := experiments.RunTable3(root)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(out)
+		fmt.Fprint(w, out)
+		return nil
 	case "lb":
-		print1(experiments.RunLBAblation(opts))
+		res, err = experiments.RunLBAblation(opts)
 	case "fetchdepth":
-		print1(experiments.RunFetchDepthAblation(opts, []int{1, 2, 3, 5, 8}))
+		res, err = experiments.RunFetchDepthAblation(opts, []int{1, 2, 3, 5, 8})
 	case "sharedepth":
-		print1(experiments.RunShareDepthAblation(opts, []int{0, 1, 2, 4}))
+		res, err = experiments.RunShareDepthAblation(opts, []int{0, 1, 2, 4})
 	case "style":
-		print1(experiments.RunStyleComparison(opts))
+		res, err = experiments.RunStyleComparison(opts)
 	default:
-		fatal(fmt.Errorf("unknown experiment %q", name))
+		return fmt.Errorf("unknown experiment %q", name)
 	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, res.Format())
+	return nil
 }
 
-func print1(res *experiments.Result, err error) {
-	if err != nil {
-		fatal(err)
+// emitMetrics writes the collected snapshots as an indented JSON array to
+// stdout (dest "-") or to the named file.
+func emitMetrics(stdout io.Writer, dest string, c *experiments.MetricsCollector) error {
+	w := stdout
+	if dest != "-" && dest != "" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
 	}
-	fmt.Print(res.Format())
+	return writeMetricsJSON(w, c)
+}
+
+func writeMetricsJSON(w io.Writer, c *experiments.MetricsCollector) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Snapshots())
 }
 
 // repoRoot finds the module root by walking up from the working directory

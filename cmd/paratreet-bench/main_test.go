@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"paratreet"
+	"paratreet/internal/experiments"
+)
+
+// TestMetricsEmission is the end-to-end acceptance test for the --metrics
+// flag path: run the fig3 cache-policy experiment exactly as main() wires
+// it, then check the emitted JSON carries cache hit/miss counts,
+// open/prune decisions, and per-worker utilization for every run.
+func TestMetricsEmission(t *testing.T) {
+	opts := experiments.Quick()
+	opts.N = 3000
+	opts.Iters = 1
+	opts.Workers = []int{4} // two simulated procs, so remote fetches occur
+	opts.Metrics = &experiments.MetricsCollector{TraceCapacity: 256}
+
+	var out bytes.Buffer
+	if err := run(&out, "fig3", opts, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig 3") {
+		t.Errorf("experiment text output missing: %q", out.String())
+	}
+
+	var jbuf bytes.Buffer
+	if err := writeMetricsJSON(&jbuf, opts.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []*paratreet.MetricsSnapshot
+	if err := json.Unmarshal(jbuf.Bytes(), &snaps); err != nil {
+		t.Fatalf("metrics output is not a JSON snapshot array: %v\n%s", err, jbuf.String())
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots collected")
+	}
+	for _, s := range snaps {
+		if s.Label == "" || !strings.HasPrefix(s.Label, "fig3/") {
+			t.Errorf("snapshot label %q, want fig3/<policy>/w<N>", s.Label)
+		}
+		if s.Config["cache_policy"] == "" || s.Config["particles"] == "" {
+			t.Errorf("%s: config section incomplete: %+v", s.Label, s.Config)
+		}
+		for _, name := range []string{
+			"cache.hits", "cache.misses", "cache.fetches",
+			"traverse.opens", "traverse.prunes", "traverse.visits",
+		} {
+			if s.Counter(name) == 0 {
+				t.Errorf("%s: counter %s = 0, want nonzero", s.Label, name)
+			}
+		}
+		if len(s.Workers) == 0 {
+			t.Errorf("%s: no per-worker utilization", s.Label)
+		}
+		var busy int64
+		for _, w := range s.Workers {
+			busy += w.BusyNs
+			if u := w.Utilization(); u < 0 || u > 1 {
+				t.Errorf("%s: p%dw%d utilization %g out of [0,1]", s.Label, w.Proc, w.Worker, u)
+			}
+		}
+		if busy == 0 {
+			t.Errorf("%s: all workers report zero busy time", s.Label)
+		}
+		if len(s.Spans) == 0 {
+			t.Errorf("%s: tracing requested but no spans recorded", s.Label)
+		}
+	}
+	// One snapshot per (policy, worker-count) cell: WaitFree, Sequential,
+	// XWrite swept over each worker count.
+	if want := 3 * len(opts.Workers); len(snaps) != want {
+		t.Errorf("collected %d snapshots, want %d (3 policies x %d worker counts)",
+			len(snaps), want, len(opts.Workers))
+	}
+}
+
+// TestRunUnknownExperiment checks the CLI error path.
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "nonsense", experiments.Quick(), true); err == nil {
+		t.Fatal("run(nonsense) succeeded, want error")
+	}
+}

@@ -3,6 +3,8 @@ package paratreet
 import (
 	"fmt"
 	"time"
+
+	"paratreet/internal/metrics"
 )
 
 // Config specifies a simulation's machine, decomposition, tree, cache, and
@@ -48,6 +50,12 @@ type Config struct {
 	// Latency and PerByte model the interconnect.
 	Latency time.Duration
 	PerByte time.Duration
+
+	// Metrics, when non-nil, enables the runtime observability layer: the
+	// runtime, cache, and traversal engines record counters, histograms,
+	// utilization profiles, and (optionally) trace spans into the registry.
+	// Nil (the default) disables all collection at near-zero cost.
+	Metrics *metrics.Registry
 }
 
 // Validate reports configuration errors.

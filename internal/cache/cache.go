@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"paratreet/internal/metrics"
 	"paratreet/internal/rt"
 	"paratreet/internal/tree"
 )
@@ -102,6 +103,29 @@ type Cache[D any] struct {
 	views []*view[D]
 
 	insertMu sync.Mutex // XWrite only
+
+	mx cacheMetrics
+}
+
+// cacheMetrics holds the cache's observability handles, resolved once at
+// construction; all-nil (enabled=false) when the layer is off.
+type cacheMetrics struct {
+	enabled  bool
+	fetches  *metrics.Counter
+	fills    *metrics.Counter
+	inserts  *metrics.Counter
+	fetchRTT *metrics.Histogram
+	insertNs *metrics.Histogram
+	// reqAt maps in-flight (key, view) to the request issue time, for the
+	// fetch round-trip histogram.
+	reqAt sync.Map
+}
+
+// reqID identifies an in-flight request; under PerThread the same key can
+// be in flight once per view.
+type reqID struct {
+	key  uint64
+	view int
 }
 
 // New constructs a cache for proc. fetchDepth is the number of descendant
@@ -124,6 +148,14 @@ func New[D any](proc *rt.Proc, policy Policy, t tree.Type, codec tree.DataCodec[
 	}
 	for v := 0; v < nviews; v++ {
 		c.views = append(c.views, &view[D]{})
+	}
+	if reg := proc.Metrics(); reg != nil {
+		c.mx.enabled = true
+		c.mx.fetches = reg.Counter(metrics.CCacheFetches)
+		c.mx.fills = reg.Counter(metrics.CCacheFills)
+		c.mx.inserts = reg.Counter(metrics.CCacheInserts)
+		c.mx.fetchRTT = reg.Histogram(metrics.HCacheFetchRTT)
+		c.mx.insertNs = reg.Histogram(metrics.HCacheInsert)
 	}
 	return c
 }
@@ -187,6 +219,7 @@ func (c *Cache[D]) Reset() {
 		v.root = nil
 		v.pending = sync.Map{}
 	}
+	c.mx.reqAt = sync.Map{}
 }
 
 // Request ensures node n (a KindRemote or KindRemoteLeaf placeholder in
@@ -202,7 +235,13 @@ func (c *Cache[D]) Request(viewID int, n *tree.Node[D], resume func()) bool {
 		v := c.views[viewID]
 		v.pending.Store(n.Key, n)
 		c.proc.Stats().NodeRequests.Add(1)
+		if c.mx.enabled {
+			c.mx.fetches.Inc(c.proc.Rank())
+			c.mx.reqAt.Store(reqID{n.Key, viewID}, time.Now())
+		}
 		c.proc.Send(int(n.Owner), RequestMsg{Key: n.Key, Requester: c.proc.Rank(), View: viewID}, requestMsgBytes)
+	} else {
+		c.proc.Stats().DuplicateRequests.Add(1)
 	}
 	return true
 }
@@ -221,7 +260,7 @@ func (c *Cache[D]) HandleRequest(msg RequestMsg) error {
 	st.NodesShipped.Add(int64(countShipped(n, c.fetchDepth)))
 	st.ParticlesShipped.Add(int64(countParticlesShipped(n, c.fetchDepth)))
 	c.proc.Send(msg.Requester, FillMsg{Key: msg.Key, View: msg.View, Blob: blob}, len(blob))
-	c.proc.AddPhase(rt.PhaseCacheRequest, time.Since(start))
+	c.proc.PhaseSince(rt.PhaseCacheRequest, start)
 	return nil
 }
 
@@ -231,10 +270,18 @@ func (c *Cache[D]) HandleRequest(msg RequestMsg) error {
 // XWrite; worker 0 under SingleWorker; the owning worker under PerThread).
 func (c *Cache[D]) HandleFill(msg FillMsg) {
 	c.proc.Stats().Fills.Add(1)
+	c.mx.fills.Inc(c.proc.Rank())
 	insert := func() {
 		start := time.Now()
 		c.insert(msg)
-		c.proc.AddPhase(rt.PhaseCacheInsert, time.Since(start))
+		c.proc.PhaseSince(rt.PhaseCacheInsert, start)
+		if c.mx.enabled {
+			c.mx.inserts.Inc(c.proc.Rank())
+			c.mx.insertNs.Observe(int64(time.Since(start)))
+			if at, ok := c.mx.reqAt.LoadAndDelete(reqID{msg.Key, msg.View}); ok {
+				c.mx.fetchRTT.Observe(int64(time.Since(at.(time.Time))))
+			}
+		}
 	}
 	switch c.policy {
 	case SingleWorker:

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"paratreet"
@@ -35,6 +36,53 @@ type Options struct {
 	WorkersPerProc int
 	// Seed makes datasets reproducible.
 	Seed int64
+	// Metrics, when non-nil, attaches a fresh observability registry to
+	// every simulation the experiment runs and collects one labeled
+	// snapshot per run (e.g. "fig3/WaitFree/w4"). Nil disables collection.
+	Metrics *MetricsCollector
+}
+
+// MetricsCollector accumulates labeled observability snapshots across an
+// experiment's simulation runs, one per (config, worker-count) cell —
+// e.g. the per-policy cache counters behind the Fig 3 comparison. A nil
+// collector is valid and collects nothing.
+type MetricsCollector struct {
+	// TraceCapacity, when positive, enables span tracing with a ring of
+	// this many spans per run.
+	TraceCapacity int
+
+	mu    sync.Mutex
+	snaps []*paratreet.MetricsSnapshot
+}
+
+// registry returns a fresh registry for one simulation run (nil when the
+// collector is nil, which disables collection).
+func (c *MetricsCollector) registry() *paratreet.MetricsRegistry {
+	if c == nil {
+		return nil
+	}
+	return paratreet.NewMetricsRegistry(paratreet.MetricsOptions{TraceCapacity: c.TraceCapacity})
+}
+
+// collect stores one labeled snapshot; no-op on nil collector/snapshot.
+func (c *MetricsCollector) collect(label string, snap *paratreet.MetricsSnapshot) {
+	if c == nil || snap == nil {
+		return
+	}
+	snap.Label = label
+	c.mu.Lock()
+	c.snaps = append(c.snaps, snap)
+	c.mu.Unlock()
+}
+
+// Snapshots returns the collected snapshots in collection order.
+func (c *MetricsCollector) Snapshots() []*paratreet.MetricsSnapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*paratreet.MetricsSnapshot(nil), c.snaps...)
 }
 
 // Defaults returns the standard laptop-scale options.
@@ -179,6 +227,7 @@ func RunFig3(opts Options) (*Result, error) {
 				Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
 				BucketSize: 16, CachePolicy: pc.policy, FetchDepth: 2,
 				Latency: 20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
+				Metrics: opts.Metrics.registry(),
 			}, gravity.Accumulator{}, gravity.Codec{}, ps)
 			if err != nil {
 				return nil, err
@@ -188,6 +237,7 @@ func RunFig3(opts Options) (*Result, error) {
 				sim.Close()
 				return nil, err
 			}
+			opts.Metrics.collect(fmt.Sprintf("fig3/%s/w%d", pc.name, w), sim.MetricsSnapshot())
 			stats := sim.Stats()
 			requests[pc.name] = float64(stats.NodeRequests)
 			if pc.name == "XWrite" {
@@ -224,6 +274,7 @@ func RunFig9(opts Options) (*Result, error) {
 		Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
 		BucketSize: 16,
 		Latency:    20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
+		Metrics:    opts.Metrics.registry(),
 	}, gravity.Accumulator{}, gravity.Codec{}, ps)
 	if err != nil {
 		return nil, err
@@ -233,6 +284,7 @@ func RunFig9(opts Options) (*Result, error) {
 	if _, err := timeIterations(sim, gravityDriver(par), opts.Iters); err != nil {
 		return nil, err
 	}
+	opts.Metrics.collect(fmt.Sprintf("fig9/w%d", w), sim.MetricsSnapshot())
 	phases := sim.PhaseTotals()
 	var total time.Duration
 	for _, d := range phases {

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WorkerUtil is one worker's (or communication goroutine's) utilization
+// profile since the last reset. Worker -1 denotes the comm goroutine.
+type WorkerUtil struct {
+	Proc   int   `json:"proc"`
+	Worker int   `json:"worker"`
+	BusyNs int64 `json:"busy_ns"`
+	IdleNs int64 `json:"idle_ns"`
+	Tasks  int64 `json:"tasks"`
+}
+
+// Utilization returns busy / (busy + idle), or 0 when nothing was
+// accounted.
+func (w WorkerUtil) Utilization() float64 {
+	total := w.BusyNs + w.IdleNs
+	if total <= 0 {
+		return 0
+	}
+	return float64(w.BusyNs) / float64(total)
+}
+
+// CommEdge is the message/byte volume from one process to another.
+type CommEdge struct {
+	From     int   `json:"from"`
+	To       int   `json:"to"`
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// Snapshot is a machine-readable profile of one run: every registered
+// counter and histogram, per-phase times, per-worker utilization, the
+// proc-pair communication matrix, and (when tracing) the recorded spans.
+// The runtime fills Phases/Workers/Comm; the Registry fills the rest;
+// callers may attach Label/Config for provenance.
+type Snapshot struct {
+	Label        string                       `json:"label,omitempty"`
+	Config       map[string]string            `json:"config,omitempty"`
+	Counters     map[string]int64             `json:"counters"`
+	Histograms   map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	PhasesNs     map[string]int64             `json:"phases_ns,omitempty"`
+	Workers      []WorkerUtil                 `json:"workers,omitempty"`
+	Comm         []CommEdge                   `json:"comm,omitempty"`
+	Spans        []Span                       `json:"spans,omitempty"`
+	SpansDropped int64                        `json:"spans_dropped,omitempty"`
+}
+
+// Counter returns a counter's value by name (0 when absent), a
+// convenience for tests and report code.
+func (s *Snapshot) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[name]
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the snapshot's scalar series as "kind,name,value" rows:
+// counters, histogram aggregates, phase times, and per-worker utilization.
+// Spans are JSON-only.
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kind,name,value"); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "counter,%s,%d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "hist_count,%s,%d\nhist_sum,%s,%d\nhist_mean,%s,%.1f\n",
+			name, h.Count, name, h.Sum, name, h.Mean()); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.PhasesNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "phase_ns,%s,%d\n", name, s.PhasesNs[name]); err != nil {
+			return err
+		}
+	}
+	for _, wu := range s.Workers {
+		if _, err := fmt.Fprintf(w, "worker_util,p%dw%d,%.4f\n", wu.Proc, wu.Worker, wu.Utilization()); err != nil {
+			return err
+		}
+	}
+	for _, e := range s.Comm {
+		if _, err := fmt.Fprintf(w, "comm_bytes,%d->%d,%d\n", e.From, e.To, e.Bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timestamped slice of execution recorded by the Tracer:
+// a named activity (tree-build, traverse, fetch, resume, ...) on one
+// process, optionally attributed to a worker (-1 when unattributed).
+// Times are nanoseconds since the tracer's epoch, so exported traces are
+// portable and diffable across runs.
+type Span struct {
+	Name    string `json:"name"`
+	Proc    int    `json:"proc"`
+	Worker  int    `json:"worker"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// Tracer records spans into a fixed-capacity ring buffer: the most recent
+// TraceCapacity spans survive, older ones are overwritten (and counted as
+// dropped). Span recording happens at phase granularity — per traversal
+// pump, per fill insert, per resume batch — not per tree node, so a small
+// mutex-guarded ring is cheap relative to the work being traced.
+type Tracer struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	ring    []Span
+	next    int
+	wrapped bool
+	total   int64
+}
+
+func newTracer(capacity int) *Tracer {
+	return &Tracer{epoch: time.Now(), ring: make([]Span, capacity)}
+}
+
+// Emit records one span. Safe for concurrent use; no-op on a nil tracer.
+func (t *Tracer) Emit(name string, proc, worker int, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	s := Span{
+		Name:    name,
+		Proc:    proc,
+		Worker:  worker,
+		StartNs: start.Sub(t.epoch).Nanoseconds(),
+		DurNs:   dur.Nanoseconds(),
+	}
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns the surviving spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		out := make([]Span, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Total returns how many spans were ever emitted.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many spans were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		return 0
+	}
+	return t.total - int64(len(t.ring))
+}
+
+func (t *Tracer) reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.next, t.wrapped, t.total = 0, false, 0
+	t.mu.Unlock()
+}

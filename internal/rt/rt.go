@@ -10,9 +10,13 @@ package rt
 
 import (
 	"fmt"
+	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"paratreet/internal/metrics"
 )
 
 // Config describes the simulated machine.
@@ -26,6 +30,12 @@ type Config struct {
 	Latency time.Duration
 	// PerByte is the simulated per-byte transfer cost.
 	PerByte time.Duration
+	// Metrics, when non-nil, attaches the observability layer: the machine
+	// maintains a per-proc-pair communication matrix, a task-duration
+	// histogram, and (if the registry traces) phase spans, and the cache
+	// and traversal layers resolve their instruments from it via
+	// Proc.Metrics. A nil registry costs one pointer check per event.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +128,22 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	}
 }
 
+// reset zeroes every counter with atomic stores (safe while workers are
+// idle-spinning, unlike overwriting the struct). Tests enforce by
+// reflection that every field is covered.
+func (s *Stats) reset() {
+	s.MessagesSent.Store(0)
+	s.BytesSent.Store(0)
+	s.NodeRequests.Store(0)
+	s.DuplicateRequests.Store(0)
+	s.Fills.Store(0)
+	s.NodesShipped.Store(0)
+	s.ParticlesShipped.Store(0)
+	s.TasksRun.Store(0)
+	s.LockWaitNanos.Store(0)
+	s.Steals.Store(0)
+}
+
 // Add accumulates another snapshot into this one.
 func (s *StatsSnapshot) Add(o StatsSnapshot) {
 	s.MessagesSent += o.MessagesSent
@@ -147,18 +173,38 @@ type Machine struct {
 	stop    atomic.Bool
 	started bool
 	wg      sync.WaitGroup
+
+	// Observability (nil / empty when cfg.Metrics is nil).
+	reg      *metrics.Registry
+	commMsgs []cell // P*P proc-pair message counts
+	commByte []cell // P*P proc-pair byte counts
+	taskHist *metrics.Histogram
+}
+
+// cell is a cache-line-padded atomic, for the communication matrix.
+type cell struct {
+	v atomic.Int64
+	_ [56]byte
 }
 
 // NewMachine constructs a machine; call Start before submitting work and
 // Stop when finished.
 func NewMachine(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
-	m := &Machine{cfg: cfg}
+	m := &Machine{cfg: cfg, reg: cfg.Metrics}
+	if m.reg != nil {
+		m.commMsgs = make([]cell, cfg.Procs*cfg.Procs)
+		m.commByte = make([]cell, cfg.Procs*cfg.Procs)
+		m.taskHist = m.reg.Histogram(metrics.HRTTask)
+	}
 	for r := 0; r < cfg.Procs; r++ {
 		m.procs = append(m.procs, newProc(m, r, cfg.WorkersPerProc))
 	}
 	return m
 }
+
+// Metrics returns the attached registry (nil when observability is off).
+func (m *Machine) Metrics() *metrics.Registry { return m.reg }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -203,19 +249,27 @@ func (m *Machine) WaitQuiescence() {
 	}
 }
 
-// ResetStats zeroes every process's counters, phase timers, and busy
-// accounting.
+// ResetStats zeroes every process's counters, phase timers, and busy/idle
+// accounting, plus the attached metrics registry and communication matrix
+// (between measurement runs).
 func (m *Machine) ResetStats() {
 	for _, p := range m.procs {
-		p.stats = Stats{}
+		p.stats.reset()
 		for i := range p.phases {
 			p.phases[i].Store(0)
 		}
 		p.commBusy.Store(0)
 		for _, w := range p.workers {
 			w.busy.Store(0)
+			w.idle.Store(0)
+			w.tasks.Store(0)
 		}
 	}
+	for i := range m.commMsgs {
+		m.commMsgs[i].v.Store(0)
+		m.commByte[i].v.Store(0)
+	}
+	m.reg.Reset()
 }
 
 // MaxBusy returns the virtual makespan since the last ResetStats: the
@@ -273,6 +327,69 @@ func (m *Machine) PhaseTotals() [NumPhases]time.Duration {
 	return out
 }
 
+// MetricsSnapshot captures the full observability snapshot: every
+// registry instrument plus the machine's own accounting — per-phase
+// times, per-worker busy/idle/task profiles (the comm goroutine appears
+// as worker -1), the proc-pair communication matrix, and the Stats
+// counters under an "rt." prefix (derived by reflection from
+// StatsSnapshot, so new Stats fields are exported automatically).
+// Returns nil when no registry is attached.
+func (m *Machine) MetricsSnapshot() *metrics.Snapshot {
+	if m.reg == nil {
+		return nil
+	}
+	s := m.reg.Snapshot()
+	s.PhasesNs = map[string]int64{}
+	for ph, d := range m.PhaseTotals() {
+		s.PhasesNs[Phase(ph).String()] = int64(d)
+	}
+	for _, p := range m.procs {
+		s.Workers = append(s.Workers, metrics.WorkerUtil{
+			Proc: p.rank, Worker: -1, BusyNs: p.commBusy.Load(),
+		})
+		for _, w := range p.workers {
+			s.Workers = append(s.Workers, metrics.WorkerUtil{
+				Proc:   p.rank,
+				Worker: w.id,
+				BusyNs: w.busy.Load(),
+				IdleNs: w.idle.Load(),
+				Tasks:  w.tasks.Load(),
+			})
+		}
+	}
+	nprocs := len(m.procs)
+	for from := 0; from < nprocs; from++ {
+		for to := 0; to < nprocs; to++ {
+			i := from*nprocs + to
+			if n := m.commMsgs[i].v.Load(); n > 0 {
+				s.Comm = append(s.Comm, metrics.CommEdge{
+					From: from, To: to, Messages: n, Bytes: m.commByte[i].v.Load(),
+				})
+			}
+		}
+	}
+	total := reflect.ValueOf(m.TotalStats())
+	for i := 0; i < total.NumField(); i++ {
+		s.Counters["rt."+snakeCase(total.Type().Field(i).Name)] = total.Field(i).Int()
+	}
+	return s
+}
+
+// snakeCase converts an exported Go field name to snake_case.
+func snakeCase(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
 // Proc is one simulated process: W workers, an inbox served by a dedicated
 // communication goroutine, counters, and phase timers.
 type Proc struct {
@@ -316,16 +433,32 @@ func (p *Proc) Machine() *Machine { return p.machine }
 // Stats returns the process's counters.
 func (p *Proc) Stats() *Stats { return &p.stats }
 
+// Metrics returns the machine's registry (nil when observability is off).
+// Higher layers (cache, traverse) resolve their instruments through it at
+// construction time.
+func (p *Proc) Metrics() *metrics.Registry { return p.machine.reg }
+
 // AddPhase accrues d into the process's phase timer.
 func (p *Proc) AddPhase(ph Phase, d time.Duration) {
 	p.phases[ph].Add(int64(d))
+}
+
+// PhaseSince accrues the time since start into phase ph and, when the
+// attached registry traces, records a span for it. Use it in place of the
+// AddPhase(ph, time.Since(start)) idiom so timed slices reach the trace.
+func (p *Proc) PhaseSince(ph Phase, start time.Time) {
+	d := time.Since(start)
+	p.phases[ph].Add(int64(d))
+	if p.machine.reg != nil {
+		p.machine.reg.Tracer().Emit(ph.String(), p.rank, -1, start, d)
+	}
 }
 
 // TimePhase runs fn, attributing its wall time to phase ph.
 func (p *Proc) TimePhase(ph Phase, fn func()) {
 	start := time.Now()
 	fn()
-	p.AddPhase(ph, time.Since(start))
+	p.PhaseSince(ph, start)
 }
 
 // SetDispatcher installs the message handler, called on the communication
@@ -339,6 +472,11 @@ func (p *Proc) SetDispatcher(fn func(from int, payload any)) {
 // and statistics. Sending never blocks. Messages between a pair of
 // processes arrive in order.
 func (p *Proc) Send(to int, payload any, bytes int) {
+	if p.machine.commMsgs != nil {
+		i := p.rank*len(p.machine.procs) + to
+		p.machine.commMsgs[i].v.Add(1)
+		p.machine.commByte[i].v.Add(int64(bytes))
+	}
 	if to == p.rank {
 		// Local "message": dispatch through the same path, zero latency.
 		p.machine.pending.Add(1)
@@ -449,8 +587,11 @@ type worker struct {
 	qlen   atomic.Int64
 
 	// busy accumulates task-execution nanos, the basis of the virtual
-	// makespan metric (see Machine.MaxBusy).
-	busy atomic.Int64
+	// makespan metric (see Machine.MaxBusy). idle and tasks feed the
+	// per-worker utilization profile exported by Machine.MetricsSnapshot.
+	busy  atomic.Int64
+	idle  atomic.Int64
+	tasks atomic.Int64
 }
 
 func (w *worker) push(task func(), pin bool) {
@@ -540,13 +681,18 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			continue
 		}
 		if !idleSince.IsZero() {
-			w.proc.AddPhase(PhaseIdle, time.Since(idleSince))
+			d := time.Since(idleSince)
+			w.proc.AddPhase(PhaseIdle, d)
+			w.idle.Add(int64(d))
 			idleSince = time.Time{}
 		}
 		sleep = 0
 		taskStart := time.Now()
 		t()
-		w.busy.Add(int64(time.Since(taskStart)))
+		dur := time.Since(taskStart)
+		w.busy.Add(int64(dur))
+		w.tasks.Add(1)
+		w.proc.machine.taskHist.Observe(int64(dur))
 		w.proc.stats.TasksRun.Add(1)
 		w.proc.machine.pending.Add(-1)
 	}

@@ -1,0 +1,190 @@
+package rt
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"paratreet/internal/metrics"
+)
+
+// statsFieldNames returns the field names of a struct type in order.
+func statsFieldNames(t reflect.Type) []string {
+	names := make([]string, t.NumField())
+	for i := range names {
+		names[i] = t.Field(i).Name
+	}
+	return names
+}
+
+// TestStatsFieldParity pins Stats and StatsSnapshot to the same field set,
+// so adding a counter to one without the other fails immediately.
+func TestStatsFieldParity(t *testing.T) {
+	st := reflect.TypeOf(Stats{})
+	sn := reflect.TypeOf(StatsSnapshot{})
+	got, want := statsFieldNames(st), statsFieldNames(sn)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Stats fields %v != StatsSnapshot fields %v", got, want)
+	}
+	for i := 0; i < st.NumField(); i++ {
+		if st.Field(i).Type != reflect.TypeOf(atomic.Int64{}) {
+			t.Fatalf("Stats.%s is %v, want atomic.Int64", st.Field(i).Name, st.Field(i).Type)
+		}
+		if sn.Field(i).Type.Kind() != reflect.Int64 {
+			t.Fatalf("StatsSnapshot.%s is %v, want int64", sn.Field(i).Name, sn.Field(i).Type)
+		}
+	}
+}
+
+// fillStats stores base+i into field i of a Stats via reflection.
+func fillStats(s *Stats, base int64) {
+	v := reflect.ValueOf(s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).Addr().Interface().(*atomic.Int64).Store(base + int64(i))
+	}
+}
+
+// TestStatsSnapshotCoversAllFields sets every Stats field to a distinct
+// value and checks Snapshot copies each one by name — a field missed in
+// the hand-written Snapshot() would read 0.
+func TestStatsSnapshotCoversAllFields(t *testing.T) {
+	var s Stats
+	fillStats(&s, 100)
+	snap := reflect.ValueOf(s.Snapshot())
+	for i := 0; i < snap.NumField(); i++ {
+		if got, want := snap.Field(i).Int(), int64(100+i); got != want {
+			t.Errorf("Snapshot().%s = %d, want %d (field dropped from Snapshot?)",
+				snap.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestStatsSnapshotAddCoversAllFields checks Add sums every field.
+func TestStatsSnapshotAddCoversAllFields(t *testing.T) {
+	var a, b Stats
+	fillStats(&a, 100)
+	fillStats(&b, 1000)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Add(sb)
+	v := reflect.ValueOf(sa)
+	for i := 0; i < v.NumField(); i++ {
+		if got, want := v.Field(i).Int(), int64(100+i+1000+i); got != want {
+			t.Errorf("Add: field %s = %d, want %d (field dropped from Add?)",
+				v.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestStatsResetCoversAllFields checks reset zeroes every field.
+func TestStatsResetCoversAllFields(t *testing.T) {
+	var s Stats
+	fillStats(&s, 7)
+	s.reset()
+	snap := reflect.ValueOf(s.Snapshot())
+	for i := 0; i < snap.NumField(); i++ {
+		if got := snap.Field(i).Int(); got != 0 {
+			t.Errorf("after reset, %s = %d, want 0 (field dropped from reset?)",
+				snap.Type().Field(i).Name, got)
+		}
+	}
+}
+
+// TestMetricsSnapshotExportsAllStatsFields checks every StatsSnapshot
+// field appears in MetricsSnapshot as an "rt." snake_case counter with
+// the right value — the reflection-based export must track new fields.
+func TestMetricsSnapshotExportsAllStatsFields(t *testing.T) {
+	m := NewMachine(Config{Procs: 2, WorkersPerProc: 1, Metrics: metrics.NewRegistry(metrics.Options{})})
+	fillStats(&m.procs[0].stats, 10)
+	fillStats(&m.procs[1].stats, 20)
+	snap := m.MetricsSnapshot()
+	if snap == nil {
+		t.Fatal("MetricsSnapshot() = nil with registry attached")
+	}
+	v := reflect.ValueOf(m.TotalStats())
+	for i := 0; i < v.NumField(); i++ {
+		name := "rt." + snakeCase(v.Type().Field(i).Name)
+		want := int64(10+i) + int64(20+i)
+		got, ok := snap.Counters[name]
+		if !ok {
+			t.Errorf("counter %q missing from MetricsSnapshot", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("counter %q = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"MessagesSent":      "messages_sent",
+		"BytesSent":         "bytes_sent",
+		"LockWaitNanos":     "lock_wait_nanos",
+		"Steals":            "steals",
+		"DuplicateRequests": "duplicate_requests",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestResetStatsZeroesEverything drives a machine with metrics attached,
+// dirties every accounting surface, and checks ResetStats clears all of
+// it: stats, phase timers, worker busy/idle/task profiles, the comm
+// matrix, and the registry instruments.
+func TestResetStatsZeroesEverything(t *testing.T) {
+	reg := metrics.NewRegistry(metrics.Options{TraceCapacity: 16})
+	m := NewMachine(Config{Procs: 2, WorkersPerProc: 2, Metrics: reg})
+	m.Start()
+	defer m.Stop()
+
+	done := make(chan struct{})
+	m.Proc(0).Submit(func() {
+		m.Proc(0).Send(1, "ping", 64)
+		time.Sleep(time.Millisecond)
+		close(done)
+	})
+	<-done
+	m.WaitQuiescence()
+	m.Proc(0).AddPhase(PhaseTreeBuild, time.Second)
+	m.Proc(1).PhaseSince(PhaseResume, time.Now().Add(-time.Millisecond))
+	reg.Counter("app.x").Inc(0)
+
+	snap := m.MetricsSnapshot()
+	if snap.Counter("rt.messages_sent") == 0 || snap.Counter("rt.tasks_run") == 0 {
+		t.Fatalf("setup failed to dirty counters: %+v", snap.Counters)
+	}
+	if len(snap.Comm) == 0 {
+		t.Fatal("setup failed to dirty the comm matrix")
+	}
+
+	m.ResetStats()
+	snap = m.MetricsSnapshot()
+	for name, v := range snap.Counters {
+		if v != 0 {
+			t.Errorf("after ResetStats, counter %q = %d, want 0", name, v)
+		}
+	}
+	for name, v := range snap.PhasesNs {
+		if v != 0 {
+			t.Errorf("after ResetStats, phase %q = %d, want 0", name, v)
+		}
+	}
+	for _, w := range snap.Workers {
+		if w.BusyNs != 0 || w.IdleNs != 0 || w.Tasks != 0 {
+			t.Errorf("after ResetStats, worker p%dw%d not zeroed: %+v", w.Proc, w.Worker, w)
+		}
+	}
+	if len(snap.Comm) != 0 {
+		t.Errorf("after ResetStats, comm matrix not zeroed: %+v", snap.Comm)
+	}
+	if len(snap.Spans) != 0 {
+		t.Errorf("after ResetStats, spans not cleared: %d spans", len(snap.Spans))
+	}
+	if m.MaxBusy() != 0 || m.TotalBusy() != 0 {
+		t.Errorf("after ResetStats, busy time not zeroed: max=%v total=%v", m.MaxBusy(), m.TotalBusy())
+	}
+}

@@ -1,0 +1,181 @@
+package sfc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"paratreet/internal/vec"
+)
+
+const coordMask = uint32(MaxCoord)
+
+// TestQuickMortonRoundTrip checks Encode/DecodeMorton are inverse over
+// random lattice coordinates.
+func TestQuickMortonRoundTrip(t *testing.T) {
+	prop := func(x, y, z uint32) bool {
+		x, y, z = x&coordMask, y&coordMask, z&coordMask
+		gx, gy, gz := DecodeMorton(EncodeMorton(x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHilbertRoundTrip checks Encode/DecodeHilbert are inverse over
+// random lattice coordinates.
+func TestQuickHilbertRoundTrip(t *testing.T) {
+	prop := func(x, y, z uint32) bool {
+		x, y, z = x&coordMask, y&coordMask, z&coordMask
+		gx, gy, gz := DecodeHilbert(EncodeHilbert(x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickKeyCellBoxRoundTrip is the key↔box round-trip: the finest
+// Morton cell of a key must contain the dequantized lattice-cell center,
+// and re-keying that center must reproduce the key.
+func TestQuickKeyCellBoxRoundTrip(t *testing.T) {
+	universe := vec.NewBox(vec.V(-3, 2, -10), vec.V(5, 7, 11))
+	prop := func(x, y, z uint32) bool {
+		x, y, z = x&coordMask, y&coordMask, z&coordMask
+		key := EncodeMorton(x, y, z)
+		center := Dequantize(x, y, z, universe)
+		box := CellBox(key, Bits, universe)
+		return box.Contains(center) && MortonKey(center, universe) == key
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPrefixContainment checks the octree-prefix property: the cell
+// of a key prefix (an ancestor tree node) contains every deeper cell of
+// the same key, at all level pairs.
+func TestQuickPrefixContainment(t *testing.T) {
+	universe := vec.UnitBox()
+	prop := func(x, y, z uint32, la, lb uint8) bool {
+		x, y, z = x&coordMask, y&coordMask, z&coordMask
+		shallow := int(la) % (Bits + 1)
+		deep := int(lb) % (Bits + 1)
+		if shallow > deep {
+			shallow, deep = deep, shallow
+		}
+		key := EncodeMorton(x, y, z)
+		outer := CellBox(key, shallow, universe)
+		inner := CellBox(key, deep, universe)
+		return outer.ContainsBox(inner.Pad(-1e-12))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHilbertUnitStep checks the defining Hilbert locality property:
+// lattice points of consecutive curve indices are exactly one Manhattan
+// step apart.
+func TestQuickHilbertUnitStep(t *testing.T) {
+	prop := func(idx uint64) bool {
+		idx &= 1<<(3*Bits) - 2 // keep idx+1 in range
+		x0, y0, z0 := DecodeHilbert(idx)
+		x1, y1, z1 := DecodeHilbert(idx + 1)
+		return absf(x0, x1)+absf(y0, y1)+absf(z0, z1) == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSortOrderPreservesLocality checks that sorting random points by
+// curve key leaves curve-adjacent points spatially adjacent on average:
+// the mean Manhattan gap between sort neighbors must be far below the
+// mean gap between random pairs, for both curves.
+func TestSortOrderPreservesLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	universe := vec.UnitBox()
+	const n = 2000
+	pts := make([]vec.Vec3, n)
+	for i := range pts {
+		pts[i] = vec.V(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	for _, curve := range []Curve{Morton, Hilbert} {
+		keys := make([]uint64, n)
+		order := make([]int, n)
+		for i, p := range pts {
+			keys[i] = Key(curve, p, universe)
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+		manhattan := func(a, b vec.Vec3) float64 {
+			d := 0.0
+			for _, v := range []float64{a.X - b.X, a.Y - b.Y, a.Z - b.Z} {
+				if v < 0 {
+					v = -v
+				}
+				d += v
+			}
+			return d
+		}
+		var adjacent float64
+		for i := 1; i < n; i++ {
+			adjacent += manhattan(pts[order[i-1]], pts[order[i]])
+		}
+		adjacent /= float64(n - 1)
+		var random float64
+		for i := 0; i < n-1; i++ {
+			random += manhattan(pts[rng.Intn(n)], pts[rng.Intn(n)])
+		}
+		random /= float64(n - 1)
+		if adjacent*4 > random {
+			t.Errorf("%v: sort neighbors not local: adjacent mean %.4f vs random mean %.4f",
+				curve, adjacent, random)
+		}
+	}
+}
+
+// FuzzMortonRoundTrip fuzzes the Morton encode/decode pair plus the
+// bit-63 invariant.
+func FuzzMortonRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0))
+	f.Add(uint32(MaxCoord), uint32(MaxCoord), uint32(MaxCoord))
+	f.Add(uint32(1), uint32(2), uint32(4))
+	f.Fuzz(func(t *testing.T, x, y, z uint32) {
+		x, y, z = x&coordMask, y&coordMask, z&coordMask
+		key := EncodeMorton(x, y, z)
+		if key>>63 != 0 {
+			t.Fatalf("EncodeMorton(%d,%d,%d) set bit 63", x, y, z)
+		}
+		gx, gy, gz := DecodeMorton(key)
+		if gx != x || gy != y || gz != z {
+			t.Fatalf("round trip (%d,%d,%d) -> %d -> (%d,%d,%d)", x, y, z, key, gx, gy, gz)
+		}
+	})
+}
+
+// FuzzHilbertRoundTrip fuzzes both directions of the Hilbert mapping:
+// coords -> index -> coords, and index -> coords -> index.
+func FuzzHilbertRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0))
+	f.Add(uint32(MaxCoord), uint32(0), uint32(MaxCoord))
+	f.Add(uint32(123456), uint32(654321), uint32(999999))
+	f.Fuzz(func(t *testing.T, x, y, z uint32) {
+		x, y, z = x&coordMask, y&coordMask, z&coordMask
+		key := EncodeHilbert(x, y, z)
+		if key >= 1<<(3*Bits) {
+			t.Fatalf("EncodeHilbert(%d,%d,%d) = %d out of range", x, y, z, key)
+		}
+		gx, gy, gz := DecodeHilbert(key)
+		if gx != x || gy != y || gz != z {
+			t.Fatalf("round trip (%d,%d,%d) -> %d -> (%d,%d,%d)", x, y, z, key, gx, gy, gz)
+		}
+		if back := EncodeHilbert(gx, gy, gz); back != key {
+			t.Fatalf("re-encode %d != %d", back, key)
+		}
+	})
+}

@@ -87,6 +87,8 @@ type Dual[D any, V DualVisitor[D]] struct {
 	buckets []*Bucket
 	root    *targetGroup
 
+	mx engineMetrics
+
 	mu      sync.Mutex
 	stack   []dualFrame[D]
 	running atomic.Bool
@@ -114,6 +116,7 @@ func NewDual[D any, V DualVisitor[D]](proc *rt.Proc, c *cache.Cache[D], viewID i
 		proc: proc, cache: c, viewID: viewID, visitor: visitor,
 		buckets: buckets, root: buildTargetGroups(buckets, idx, groupLeafSize),
 		onDone: onDone,
+		mx:     newEngineMetrics(proc),
 	}
 }
 
@@ -183,20 +186,27 @@ func (d *Dual[D, V]) process(f dualFrame[D]) {
 	n := f.node
 	kind := n.Kind()
 	if kind == tree.KindRemote {
+		if d.mx.enabled {
+			d.mx.frameCounts(0, 0, false)
+		}
 		d.pause(f)
 		return
 	}
 	d.CellCalls.Add(1)
+	var opens, prunes int64
 	action := d.visitor.Cell(n, f.group.box)
 	switch action {
 	case CellPrune:
+		prunes = 1
 
 	case CellApprox:
+		prunes = 1
 		for _, bi := range f.group.buckets {
 			d.visitor.Node(n, d.buckets[bi])
 		}
 
 	default:
+		opens = 1
 		openSource := action == CellOpenSource || action == CellOpenBoth
 		openTarget := action == CellOpenTarget || action == CellOpenBoth
 		if kind == tree.KindEmptyLeaf {
@@ -204,6 +214,9 @@ func (d *Dual[D, V]) process(f dualFrame[D]) {
 		}
 		if kind == tree.KindRemoteLeaf {
 			// Need particles for exact interaction.
+			if d.mx.enabled {
+				d.mx.frameCounts(opens, prunes, false)
+			}
 			d.pause(f)
 			return
 		}
@@ -241,6 +254,9 @@ func (d *Dual[D, V]) process(f dualFrame[D]) {
 			}
 		}
 	}
+	if d.mx.enabled {
+		d.mx.frameCounts(opens, prunes, isCachedRemote(kind))
+	}
 	d.finishFrame()
 }
 
@@ -248,17 +264,27 @@ func (d *Dual[D, V]) pause(f dualFrame[D]) {
 	if f.parent == nil {
 		panic("traverse: remote dual node with no parent")
 	}
+	if d.mx.enabled {
+		d.mx.misses.Inc(d.mx.shard)
+	}
 	resume := func() {
 		start := time.Now()
+		if d.mx.enabled {
+			d.mx.resumes.Inc(d.mx.shard)
+		}
 		fresh := f.parent.Child(f.childIdx)
 		d.push(dualFrame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, group: f.group})
 		d.finishFrame()
 		d.pump()
-		d.proc.AddPhase(rt.PhaseResume, time.Since(start))
+		d.proc.PhaseSince(rt.PhaseResume, start)
 	}
-	if !d.cache.Request(d.viewID, f.node, resume) {
-		fresh := f.parent.Child(f.childIdx)
-		d.push(dualFrame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, group: f.group})
-		d.finishFrame()
+	if d.cache.Request(d.viewID, f.node, resume) {
+		if d.mx.enabled {
+			d.mx.parks.Inc(d.mx.shard)
+		}
+		return
 	}
+	fresh := f.parent.Child(f.childIdx)
+	d.push(dualFrame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, group: f.group})
+	d.finishFrame()
 }

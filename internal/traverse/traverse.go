@@ -20,11 +20,67 @@ import (
 	"time"
 
 	"paratreet/internal/cache"
+	"paratreet/internal/metrics"
 	"paratreet/internal/particle"
 	"paratreet/internal/rt"
 	"paratreet/internal/tree"
 	"paratreet/internal/vec"
 )
+
+// engineMetrics holds a traversal engine's observability handles,
+// resolved once at construction. When the layer is off every handle is
+// nil and `enabled` is false, so the hot path pays one bool check per
+// frame (counting is batched per frame, not per Open call).
+type engineMetrics struct {
+	enabled bool
+	shard   int
+	visits  *metrics.Counter
+	opens   *metrics.Counter
+	prunes  *metrics.Counter
+	parks   *metrics.Counter
+	resumes *metrics.Counter
+	hits    *metrics.Counter
+	misses  *metrics.Counter
+}
+
+func newEngineMetrics(proc *rt.Proc) engineMetrics {
+	reg := proc.Metrics()
+	if reg == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		enabled: true,
+		shard:   proc.Rank(),
+		visits:  reg.Counter(metrics.CTraverseVisits),
+		opens:   reg.Counter(metrics.CTraverseOpens),
+		prunes:  reg.Counter(metrics.CTraversePrunes),
+		parks:   reg.Counter(metrics.CTraverseParks),
+		resumes: reg.Counter(metrics.CTraverseResumes),
+		hits:    reg.Counter(metrics.CCacheHits),
+		misses:  reg.Counter(metrics.CCacheMisses),
+	}
+}
+
+// frameCounts flushes one frame's decision tallies. hit marks a frame
+// served from the software cache (a fetched remote node with data).
+func (m *engineMetrics) frameCounts(opens, prunes int64, hit bool) {
+	m.visits.Inc(m.shard)
+	if opens != 0 {
+		m.opens.Add(m.shard, opens)
+	}
+	if prunes != 0 {
+		m.prunes.Add(m.shard, prunes)
+	}
+	if hit {
+		m.hits.Inc(m.shard)
+	}
+}
+
+// isCachedRemote reports whether a node's data was served from the cache
+// (fetched from another process earlier in the traversal).
+func isCachedRemote(k tree.Kind) bool {
+	return k == tree.KindCachedRemote || k == tree.KindCachedRemoteLeaf
+}
 
 // Bucket is a traversal target: a leaf bucket owned by a Partition, with
 // writable particles. Key is the source leaf's global tree key.
@@ -91,6 +147,8 @@ type Traversal[D any, V Visitor[D]] struct {
 	buckets []*Bucket
 	style   Style
 
+	mx engineMetrics
+
 	mu      sync.Mutex
 	stack   []frame[D]
 	running atomic.Bool
@@ -113,6 +171,7 @@ func NewTopDown[D any, V Visitor[D]](proc *rt.Proc, c *cache.Cache[D], viewID in
 	return &Traversal[D, V]{
 		proc: proc, cache: c, viewID: viewID,
 		visitor: visitor, buckets: buckets, style: style, onDone: onDone,
+		mx: newEngineMetrics(proc),
 	}
 }
 
@@ -135,7 +194,7 @@ func (t *Traversal[D, V]) Start() {
 	task := func() {
 		start := time.Now()
 		t.pump()
-		t.proc.AddPhase(rt.PhaseLocalTraversal, time.Since(start))
+		t.proc.PhaseSince(rt.PhaseLocalTraversal, start)
 	}
 	if t.cache.Policy() == cache.PerThread {
 		t.proc.SubmitTo(t.viewID, task)
@@ -206,9 +265,14 @@ func (t *Traversal[D, V]) finishFrame() {
 func (t *Traversal[D, V]) process(f frame[D]) {
 	n := f.node
 	t.NodesVisited.Add(1)
-	switch kind := n.Kind(); {
+	kind := n.Kind()
+	var opens, prunes int64
+	switch {
 	case kind == tree.KindRemote:
 		// No data: cannot evaluate open() — fetch unconditionally.
+		if t.mx.enabled {
+			t.mx.frameCounts(0, 0, false)
+		}
 		t.pause(f)
 		return
 
@@ -222,10 +286,15 @@ func (t *Traversal[D, V]) process(f frame[D]) {
 				need = append(need, bi)
 			} else {
 				t.visitor.Node(n, b)
+				prunes++
 			}
 		}
+		opens = int64(len(need))
 		if len(need) > 0 {
 			f.active = need
+			if t.mx.enabled {
+				t.mx.frameCounts(opens, prunes, false)
+			}
 			t.pause(f)
 			return
 		}
@@ -238,8 +307,10 @@ func (t *Traversal[D, V]) process(f frame[D]) {
 			b := t.buckets[bi]
 			if t.visitor.Open(n, b) {
 				t.visitor.Leaf(n, b)
+				opens++
 			} else {
 				t.visitor.Node(n, b)
+				prunes++
 			}
 		}
 
@@ -251,8 +322,10 @@ func (t *Traversal[D, V]) process(f frame[D]) {
 				remain = append(remain, bi)
 			} else {
 				t.visitor.Node(n, b)
+				prunes++
 			}
 		}
+		opens = int64(len(remain))
 		switch {
 		case len(remain) == 0:
 		case len(remain) == 1:
@@ -264,6 +337,9 @@ func (t *Traversal[D, V]) process(f frame[D]) {
 				}
 			}
 		}
+	}
+	if t.mx.enabled {
+		t.mx.frameCounts(opens, prunes, isCachedRemote(kind))
 	}
 	t.finishFrame()
 }
@@ -320,18 +396,28 @@ func (t *Traversal[D, V]) pause(f frame[D]) {
 		panic("traverse: remote node with no parent")
 	}
 	t.PausedCount.Add(1)
+	if t.mx.enabled {
+		t.mx.misses.Inc(t.mx.shard)
+	}
 	resume := func() {
 		start := time.Now()
+		if t.mx.enabled {
+			t.mx.resumes.Inc(t.mx.shard)
+		}
 		fresh := f.parent.Child(f.childIdx)
 		t.push(frame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, active: f.active})
 		t.finishFrame() // the paused frame is replaced by the fresh one
 		t.pump()
-		t.proc.AddPhase(rt.PhaseResume, time.Since(start))
+		t.proc.PhaseSince(rt.PhaseResume, start)
 	}
-	if !t.cache.Request(t.viewID, f.node, resume) {
-		// Lost the race with the fill: proceed inline.
-		fresh := f.parent.Child(f.childIdx)
-		t.push(frame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, active: f.active})
-		t.finishFrame()
+	if t.cache.Request(t.viewID, f.node, resume) {
+		if t.mx.enabled {
+			t.mx.parks.Inc(t.mx.shard)
+		}
+		return
 	}
+	// Lost the race with the fill: proceed inline.
+	fresh := f.parent.Child(f.childIdx)
+	t.push(frame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, active: f.active})
+	t.finishFrame()
 }

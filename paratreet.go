@@ -22,6 +22,7 @@ import (
 	"paratreet/internal/core"
 	"paratreet/internal/decomp"
 	"paratreet/internal/lb"
+	"paratreet/internal/metrics"
 	"paratreet/internal/particle"
 	"paratreet/internal/rt"
 	"paratreet/internal/traverse"
@@ -166,3 +167,28 @@ const (
 
 // StatsSnapshot is a copy of the runtime's communication counters.
 type StatsSnapshot = rt.StatsSnapshot
+
+// Observability layer (re-exported from internal/metrics). Construct a
+// registry with NewMetricsRegistry, set it on Config.Metrics, and read
+// results with Simulation.MetricsSnapshot.
+type (
+	// MetricsRegistry is the root of the observability layer: a named set
+	// of sharded counters, histograms, and an optional span tracer. A nil
+	// registry disables all collection.
+	MetricsRegistry = metrics.Registry
+	// MetricsOptions sizes a registry (counter shards, trace capacity).
+	MetricsOptions = metrics.Options
+	// MetricsSnapshot is a machine-readable profile of one run.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsSpan is one timestamped trace span.
+	MetricsSpan = metrics.Span
+	// WorkerUtil is one worker's busy/idle/tasks utilization profile.
+	WorkerUtil = metrics.WorkerUtil
+	// CommEdge is the message/byte volume between one pair of processes.
+	CommEdge = metrics.CommEdge
+)
+
+// NewMetricsRegistry constructs an enabled metrics registry.
+func NewMetricsRegistry(opts MetricsOptions) *MetricsRegistry {
+	return metrics.NewRegistry(opts)
+}

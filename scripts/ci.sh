@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI gate: build, vet, full tests, then the race-mode pass in short mode.
+# Run from the repository root (or via `make ci`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build"
+go build ./...
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go test"
+go test ./...
+
+echo "==> go test -race -short"
+go test -race -short ./...
+
+echo "CI gate passed."

@@ -6,6 +6,7 @@ import (
 
 	"paratreet/internal/core"
 	"paratreet/internal/lb"
+	"paratreet/internal/metrics"
 	"paratreet/internal/particle"
 	"paratreet/internal/rt"
 	"paratreet/internal/traverse"
@@ -72,6 +73,7 @@ func NewSimulation[D any](cfg Config, acc Accumulator[D], codec DataCodec[D], ps
 		WorkersPerProc: cfg.WorkersPerProc,
 		Latency:        cfg.Latency,
 		PerByte:        cfg.PerByte,
+		Metrics:        cfg.Metrics,
 	})
 	world := core.NewWorld(m, core.Config{
 		TreeType:    cfg.Tree,
@@ -195,6 +197,29 @@ func (s *Simulation[D]) ResetStats() { s.machine.ResetStats() }
 
 // PhaseTotals returns cumulative per-phase times across all workers.
 func (s *Simulation[D]) PhaseTotals() [NumPhases]time.Duration { return s.machine.PhaseTotals() }
+
+// MetricsSnapshot assembles the observability snapshot for this
+// simulation: every registered counter and histogram, per-phase times,
+// per-worker utilization, the proc-pair communication matrix, recorded
+// trace spans, and the simulation's configuration as labels. Returns nil
+// when Config.Metrics was not set.
+func (s *Simulation[D]) MetricsSnapshot() *metrics.Snapshot {
+	snap := s.machine.MetricsSnapshot()
+	if snap == nil {
+		return nil
+	}
+	snap.Config = map[string]string{
+		"tree":             s.cfg.Tree.String(),
+		"decomp":           s.cfg.Decomp.String(),
+		"cache_policy":     s.cfg.CachePolicy.String(),
+		"style":            s.cfg.Style.String(),
+		"procs":            fmt.Sprintf("%d", s.machine.NumProcs()),
+		"workers_per_proc": fmt.Sprintf("%d", s.cfg.WorkersPerProc),
+		"partitions":       fmt.Sprintf("%d", len(s.world.Partitions)),
+		"particles":        fmt.Sprintf("%d", len(s.particles)),
+	}
+	return snap
+}
 
 // Machine exposes the underlying simulated machine (advanced use).
 func (s *Simulation[D]) Machine() *rt.Machine { return s.machine }
