@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz ci
+.PHONY: all build test vet lint race bench fuzz ci
 
 all: build test
 
@@ -12,6 +12,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis: concurrency and hot-path invariants
+# (lockcheck, hotpath, nilrecv, atomicalign, leakcheck). Pure stdlib; see
+# DESIGN.md "Static analysis" for the directive conventions.
+lint:
+	$(GO) run ./cmd/paratreet-lint ./...
 
 # Race-mode gate: short mode keeps the differential crossproduct and the
 # larger integration runs at smoke scale so the -race schedule finishes

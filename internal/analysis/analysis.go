@@ -1,0 +1,165 @@
+// Package analysis is paratreet-lint's analyzer framework: a pure-stdlib
+// (go/ast, go/parser, go/types — no golang.org/x/tools dependency)
+// reimplementation of the small slice of the x/tools analysis machinery the
+// project needs to machine-check its concurrency and hot-path invariants.
+//
+// The invariants it enforces are the ones the paper's performance story
+// rests on: the wait-free software cache must never grow locking onto the
+// traversal path, per-visit loops must stay clock- and allocation-free,
+// the nil-safe metrics handles must stay nil-safe, and 64-bit atomics must
+// stay addressable on 32-bit platforms. Those rules used to live in
+// comments; here they are encoded as five analyzers (lockcheck, hotpath,
+// nilrecv, atomicalign, leakcheck) driven by source directives:
+//
+//	//paratreet:hotpath            function (and intra-package callees) is a
+//	                               per-visit path: no time.Now, fmt.*, map
+//	                               creation, closures, defer, or go
+//	//paratreet:coldpath           stops hotpath propagation (miss paths)
+//	//paratreet:nilsafe            type's exported pointer methods must
+//	                               begin with a nil-receiver guard
+//	// guarded by <mu>             struct field only accessed under <mu>
+//	//paratreet:allow(<analyzer>) <why>   per-line waiver, reason required
+//
+// Diagnostics are deterministic: sorted by file, line, column, analyzer,
+// message, and deduplicated, so CI output and golden tests are stable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, with a resolved (not token.Pos) position so it
+// can be serialized, sorted, and compared without a FileSet.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run inspects a single type-checked package
+// through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Fset returns the FileSet the package was parsed into.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type-checker results.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// TypesPkg returns the package's *types.Package.
+func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
+
+// Reportf records a finding at pos unless a //paratreet:allow(<analyzer>)
+// waiver covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.allowed(p.Analyzer.Name, position.Filename, position.Line) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns every registered analyzer, sorted by name.
+func Analyzers() []*Analyzer {
+	all := []*Analyzer{
+		AtomicAlignAnalyzer,
+		HotPathAnalyzer,
+		LeakCheckAnalyzer,
+		LockCheckAnalyzer,
+		NilRecvAnalyzer,
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies each analyzer to each package and returns the merged,
+// position-sorted, deduplicated diagnostics.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		// Framework hygiene: a //paratreet:allow(...) waiver with no reason
+		// text defeats the point of auditable suppressions — flag it.
+		for file, lines := range pkg.allowLines[""] {
+			for _, line := range lines {
+				diags = append(diags, Diagnostic{
+					Analyzer: "framework",
+					File:     file,
+					Line:     line,
+					Col:      1,
+					Message:  "//paratreet:allow waiver without a reason; state why the finding is safe to suppress",
+				})
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	dedup := diags[:0]
+	for i, d := range diags {
+		if i == 0 || d != diags[i-1] {
+			dedup = append(dedup, d)
+		}
+	}
+	return dedup, nil
+}

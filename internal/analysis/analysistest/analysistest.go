@@ -1,0 +1,193 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its diagnostics against golden "// want" comments, a stdlib-only
+// reimplementation of the x/tools analysistest idiom:
+//
+//	b.items = nil // want `accessed without acquiring`
+//
+// Each want comment carries one or more quoted regular expressions (Go
+// string or backquote syntax); every diagnostic on that line must match
+// one expectation and every expectation must be consumed by exactly one
+// diagnostic. Unmatched diagnostics and unconsumed expectations both fail
+// the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"paratreet/internal/analysis"
+)
+
+// Run loads the single package in dir, applies the analyzer, and compares
+// diagnostics against the // want comments in the package's files.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := loadTestPackage(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants, err := collectWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", dir, err)
+	}
+	matchDiagnostics(t, diags, wants)
+}
+
+// loadTestPackage parses and type-checks one directory of Go files as a
+// standalone package (testdata packages import only the standard library).
+func loadTestPackage(dir string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	name := ""
+	var fileNames []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fileNames = append(fileNames, e.Name())
+	}
+	sort.Strings(fileNames)
+	for _, fn := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, fn), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		name = f.Name.Name
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	tpkg, err := conf.Check("testdata/"+name, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.NewTestPackage(dir, name, fset, files, tpkg, info), nil
+}
+
+// want is one expectation: a regexp that must match a diagnostic message
+// on a specific line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants extracts expectations from // want comments. Multiple
+// quoted regexps on one comment are multiple expectations for that line.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := splitQuoted(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				if len(patterns) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted parses a sequence of Go-quoted strings: `a` "b" ...
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		q := s[0]
+		if q != '"' && q != '`' {
+			return nil, fmt.Errorf("expected quoted pattern, found %q", s)
+		}
+		i := 1
+		for i < len(s) && (s[i] != q || (q == '"' && s[i-1] == '\\')) {
+			i++
+		}
+		if i == len(s) {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		unq, err := strconv.Unquote(s[:i+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad pattern %s: %v", s[:i+1], err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[i+1:])
+	}
+	return out, nil
+}
+
+// matchDiagnostics pairs diagnostics with expectations one-to-one.
+func matchDiagnostics(t *testing.T, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != d.File || w.line != d.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}

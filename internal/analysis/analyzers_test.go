@@ -1,0 +1,48 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"paratreet/internal/analysis"
+	"paratreet/internal/analysis/analysistest"
+)
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, analysis.LockCheckAnalyzer, "testdata/lockcheck")
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysis.HotPathAnalyzer, "testdata/hotpath")
+}
+
+func TestNilRecv(t *testing.T) {
+	analysistest.Run(t, analysis.NilRecvAnalyzer, "testdata/nilrecv")
+}
+
+func TestAtomicAlign(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicAlignAnalyzer, "testdata/atomicalign")
+}
+
+func TestLeakCheck(t *testing.T) {
+	analysistest.Run(t, analysis.LeakCheckAnalyzer, "testdata/leakcheck")
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	all := analysis.Analyzers()
+	if len(all) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatalf("analyzers not sorted: %q before %q", all[i-1].Name, all[i].Name)
+		}
+	}
+	for _, a := range all {
+		if analysis.ByName(a.Name) != a {
+			t.Fatalf("ByName(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if analysis.ByName("nope") != nil {
+		t.Fatal("ByName should return nil for unknown analyzers")
+	}
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicAlignAnalyzer guards the two classic sync/atomic footguns on plain
+// integer fields (the typed atomic.Int64-style fields are immune to both
+// and are the recommended fix):
+//
+//  1. Alignment: a plain 64-bit field accessed through sync/atomic
+//     functions must be 8-byte aligned. The Go compiler only guarantees
+//     4-byte alignment for int64/uint64 inside structs on 32-bit targets,
+//     so the analyzer computes field offsets under GOARCH=386 sizes and
+//     flags any atomically-accessed 64-bit field at a non-8-aligned
+//     offset. Fix: move 64-bit fields first, pad, or use atomic.Int64.
+//
+//  2. Mixed access: a field accessed through sync/atomic in one place and
+//     by plain read/write in another tears — the plain access races with
+//     the atomic one. Every access to an atomically-accessed field must
+//     go through sync/atomic (or carry a //paratreet:allow(atomicalign)
+//     waiver explaining why the plain access cannot race, e.g.
+//     single-goroutine construction).
+var AtomicAlignAnalyzer = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "checks 64-bit alignment of sync/atomic-accessed struct fields and flags mixed atomic/plain access",
+	Run:  runAtomicAlign,
+}
+
+func runAtomicAlign(pass *Pass) error {
+	info := pass.TypesInfo()
+
+	// Pass 1: find &x.f arguments of sync/atomic calls.
+	type fieldRec struct {
+		field  *types.Var
+		is64   bool
+		strukt *types.Struct // owning struct, when resolvable
+		pos    token.Pos     // first atomic use, for reporting
+	}
+	atomicFields := make(map[*types.Var]*fieldRec)
+	atomicSelectors := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(info, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field := fieldObjOf(info, sel)
+				if field == nil {
+					continue
+				}
+				atomicSelectors[sel] = true
+				rec := atomicFields[field]
+				if rec == nil {
+					rec = &fieldRec{
+						field:  field,
+						is64:   is64BitBasic(field.Type()),
+						strukt: owningStruct(info, sel),
+						pos:    sel.Sel.Pos(),
+					}
+					atomicFields[field] = rec
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Alignment check under 32-bit sizes.
+	sizes32 := types.SizesFor("gc", "386")
+	recs := make([]*fieldRec, 0, len(atomicFields))
+	for _, rec := range atomicFields {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].pos < recs[j].pos })
+	for _, rec := range recs {
+		if !rec.is64 || rec.strukt == nil {
+			continue
+		}
+		fields := make([]*types.Var, rec.strukt.NumFields())
+		idx := -1
+		for i := 0; i < rec.strukt.NumFields(); i++ {
+			fields[i] = rec.strukt.Field(i)
+			if fields[i].Pos() == rec.field.Pos() {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		offsets := sizes32.Offsetsof(fields)
+		if offsets[idx]%8 != 0 {
+			// Report at the field declaration when it is in this package,
+			// else at the atomic use site.
+			pos := rec.field.Pos()
+			if rec.field.Pkg() != pass.TypesPkg() {
+				pos = rec.pos
+			}
+			pass.Reportf(pos,
+				"64-bit field %q is accessed with sync/atomic but sits at offset %d on 32-bit platforms; move 64-bit fields first, pad, or use the atomic.Int64 types",
+				rec.field.Name(), offsets[idx])
+		}
+	}
+
+	// Mixed-access check: any other selector of an atomically-accessed
+	// field is a plain (tearing) access.
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSelectors[sel] {
+				return true
+			}
+			field := fieldObjOf(info, sel)
+			if field == nil {
+				return true
+			}
+			if _, ok := atomicFields[field]; !ok {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"field %q is accessed both atomically (via sync/atomic) and by this plain access; use sync/atomic everywhere or explain with //paratreet:allow(atomicalign)",
+				field.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// is64BitBasic reports whether t is a plain 64-bit integer type.
+func is64BitBasic(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64:
+		return true
+	}
+	return false
+}
+
+// owningStruct resolves the struct type a field selection goes through.
+func owningStruct(info *types.Info, sel *ast.SelectorExpr) *types.Struct {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	t := s.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	// For deep selections (a.b.c), the field belongs to the last embedded/
+	// nested struct; walk the selection index path.
+	for i, idx := range s.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return nil
+		}
+		if i == len(s.Index())-1 {
+			return st
+		}
+		t = st.Field(idx).Type()
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Directive names. Directives are machine-readable comments in the style of
+// //go:build — no space after the slashes, a fixed "paratreet:" prefix.
+const (
+	// DirHotPath marks a function as a per-visit hot path.
+	DirHotPath = "hotpath"
+	// DirColdPath stops hotpath propagation into a callee (miss paths,
+	// error paths) — the callee may use clocks, closures, defer.
+	DirColdPath = "coldpath"
+	// DirNilSafe marks a type whose exported pointer-receiver methods must
+	// begin with a nil-receiver guard.
+	DirNilSafe = "nilsafe"
+	// DirAllow waives a finding: //paratreet:allow(<analyzer>) <reason>.
+	// The reason is mandatory; a bare allow is itself a diagnostic.
+	DirAllow = "allow"
+)
+
+// hasDirective reports whether the comment group carries
+// //paratreet:<name> (with optional trailing text).
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if text, ok := strings.CutPrefix(c.Text, "//paratreet:"); ok {
+			text = strings.TrimSpace(text)
+			if text == name || strings.HasPrefix(text, name+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcDirective reports whether a function declaration is marked with
+// //paratreet:<name> in its doc comment.
+func funcDirective(fd *ast.FuncDecl, name string) bool {
+	return hasDirective(fd.Doc, name)
+}
+
+var allowRe = regexp.MustCompile(`^//paratreet:allow\((\w+)\)\s*(.*)$`)
+
+// collectAllows scans all comments for //paratreet:allow(<analyzer>) lines
+// and returns analyzer -> filename -> waiver lines. A waiver with no reason
+// text is recorded under the pseudo-analyzer "" so the framework's own
+// hygiene check can flag it.
+func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[string][]int {
+	out := make(map[string]map[string][]int)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				analyzer := m[1]
+				if strings.TrimSpace(m[2]) == "" {
+					analyzer = "" // reasonless waiver
+				}
+				byFile := out[analyzer]
+				if byFile == nil {
+					byFile = make(map[string][]int)
+					out[analyzer] = byFile
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], pos.Line)
+			}
+		}
+	}
+	return out
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedBy extracts the mutex name from a struct field's doc or trailing
+// comment ("// guarded by mu"). Returns "" when unannotated.
+func guardedBy(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// rootIdentObj resolves the leftmost identifier of a selector/index/deref
+// chain to its object — the "same receiver" notion lockcheck uses to match
+// a field access with a mutex acquisition. Returns nil when the chain does
+// not bottom out in a plain identifier (e.g. a call result).
+func rootIdentObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return obj
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

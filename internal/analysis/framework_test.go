@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one source string into a Package for white-box
+// framework tests.
+func checkSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "hygiene.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	tpkg, err := conf.Check("hygiene", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTestPackage(".", "hygiene", fset, []*ast.File{file}, tpkg, info)
+}
+
+// A //paratreet:allow waiver without a reason must not suppress anything
+// and must itself be reported.
+func TestReasonlessWaiverIsFlaggedAndInert(t *testing.T) {
+	pkg := checkSrc(t, `package hygiene
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (b *box) bad() int {
+	//paratreet:allow(lockcheck)
+	return b.n
+}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{LockCheckAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawHygiene, sawLock bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "framework":
+			if !strings.Contains(d.Message, "without a reason") {
+				t.Errorf("unexpected framework message: %s", d.Message)
+			}
+			sawHygiene = true
+		case "lockcheck":
+			sawLock = true
+		}
+	}
+	if !sawHygiene {
+		t.Error("reasonless waiver was not flagged by the framework")
+	}
+	if !sawLock {
+		t.Error("reasonless waiver suppressed the lockcheck finding; it must be inert")
+	}
+}
+
+// A reasoned waiver suppresses findings on its own line and the next.
+func TestReasonedWaiverSuppresses(t *testing.T) {
+	pkg := checkSrc(t, `package hygiene
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (b *box) snapshot() int {
+	//paratreet:allow(lockcheck) quiescent snapshot, no concurrent writers
+	return b.n
+}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{LockCheckAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics, got %v", diags)
+	}
+}
+
+// Diagnostics come out sorted by file, line, column regardless of the
+// order analyzers produced them, and exact duplicates collapse.
+func TestDiagnosticOrderingAndDedup(t *testing.T) {
+	mk := func(file string, line, col int, an, msg string) Diagnostic {
+		return Diagnostic{Analyzer: an, File: file, Line: line, Col: col, Message: msg}
+	}
+	scrambled := []Diagnostic{
+		mk("b.go", 2, 1, "x", "m1"),
+		mk("a.go", 9, 4, "x", "m2"),
+		mk("a.go", 9, 2, "y", "m3"),
+		mk("a.go", 9, 2, "x", "m4"),
+		mk("a.go", 9, 2, "x", "m4"),
+	}
+	emitter := &Analyzer{
+		Name: "emitter",
+		Run: func(p *Pass) error {
+			for _, d := range scrambled {
+				*p.diags = append(*p.diags, d)
+			}
+			return nil
+		},
+	}
+	pkg := checkSrc(t, `package hygiene`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{emitter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 4 {
+		t.Fatalf("expected 4 deduplicated diagnostics, got %d: %v", len(diags), diags)
+	}
+	want := []string{"m4", "m3", "m2", "m1"}
+	for i, msg := range want {
+		if diags[i].Message != msg {
+			t.Errorf("position %d: got %q, want %q (order %v)", i, diags[i].Message, msg, diags)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// HotPathAnalyzer enforces the per-visit discipline on functions marked
+// //paratreet:hotpath and everything they reach through intra-package
+// static calls: no clock reads (time.Now/Since/Until), no fmt.* calls, no
+// map creation, no closures, no defer, no goroutine launches. These are
+// the operations that turn a nanoseconds-per-node traversal loop into a
+// malloc-and-syscall loop; timing and formatting belong at frame/task
+// granularity, outside the marked functions.
+//
+// Propagation stops at //paratreet:coldpath functions (miss paths, error
+// paths), at cross-package calls (each package marks its own hot surface),
+// and at dynamic calls (interface methods, func values).
+var HotPathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "checks that //paratreet:hotpath functions (and intra-package callees) avoid clocks, fmt, map allocation, closures, defer, and go",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	info := pass.TypesInfo()
+
+	// Index this package's function declarations by their (generic-origin)
+	// object, and record hotpath/coldpath marks.
+	declByObj := make(map[*types.Func]*ast.FuncDecl)
+	hot := make(map[*types.Func]string) // func -> name of the root that made it hot
+	cold := make(map[*types.Func]bool)
+	var roots []*types.Func
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			declByObj[obj] = fd
+			if funcDirective(fd, DirColdPath) {
+				cold[obj] = true
+				if funcDirective(fd, DirHotPath) {
+					pass.Reportf(fd.Name.Pos(), "%s is marked both //paratreet:hotpath and //paratreet:coldpath", fd.Name.Name)
+				}
+				continue
+			}
+			if funcDirective(fd, DirHotPath) {
+				hot[obj] = fd.Name.Name
+				roots = append(roots, obj)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+
+	// Propagate hotness through intra-package static calls (BFS so every
+	// reachable function is attributed to the first root that reaches it).
+	queue := append([]*types.Func(nil), roots...)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := declByObj[fn]
+		root := hot[fn]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // closure bodies run at their own granularity
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(info, call)
+			if callee == nil {
+				return true
+			}
+			callee = callee.Origin()
+			if _, inPkg := declByObj[callee]; !inPkg || cold[callee] {
+				return true
+			}
+			if _, seen := hot[callee]; !seen {
+				hot[callee] = root
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	// Check every hot function's body.
+	checked := make([]*types.Func, 0, len(hot))
+	for fn := range hot {
+		checked = append(checked, fn)
+	}
+	sort.Slice(checked, func(i, j int) bool { return checked[i].Pos() < checked[j].Pos() })
+	for _, fn := range checked {
+		fd := declByObj[fn]
+		where := fmt.Sprintf("hotpath function %s", fd.Name.Name)
+		if root := hot[fn]; root != fd.Name.Name {
+			where = fmt.Sprintf("%s (reachable from hotpath %s)", fd.Name.Name, root)
+		}
+		checkHotBody(pass, info, fd, where)
+	}
+	return nil
+}
+
+// checkHotBody reports every forbidden construct in one hot function.
+func checkHotBody(pass *Pass, info *types.Info, fd *ast.FuncDecl, where string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s creates a closure; hoist it out of the per-visit path", where)
+			return false // don't double-report the closure's own body
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "%s uses defer; unlock/cleanup explicitly on the per-visit path", where)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s launches a goroutine per visit; batch or hoist the spawn", where)
+		case *ast.CompositeLit:
+			if _, ok := info.Types[n].Type.Underlying().(*types.Map); ok {
+				pass.Reportf(n.Pos(), "%s allocates a map; preallocate outside the per-visit path", where)
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" && len(n.Args) > 0 {
+					if tv, ok := info.Types[n.Args[0]]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							pass.Reportf(n.Pos(), "%s allocates a map; preallocate outside the per-visit path", where)
+						}
+					}
+				}
+				return true
+			}
+			callee := staticCallee(info, n)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			switch callee.Pkg().Path() {
+			case "time":
+				switch callee.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(n.Pos(), "%s calls time.%s; hoist timing to frame granularity", where, callee.Name())
+				}
+			case "fmt":
+				pass.Reportf(n.Pos(), "%s calls fmt.%s; formatting does not belong on the per-visit path", where, callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+// staticCallee resolves a call expression to the *types.Func it statically
+// invokes, or nil for dynamic calls (func values, interface methods resolve
+// to abstract funcs which later fail the in-package decl lookup),
+// conversions, and builtins.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			obj = info.Uses[id]
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			obj = info.Uses[id]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LeakCheckAnalyzer flags goroutine launches with no visible lifecycle tie.
+// The runtime and cache layers own long-lived goroutines (worker loops, the
+// communication goroutine); every `go` statement there must be observably
+// stoppable — through a *sync.WaitGroup, a context.Context, a channel, or
+// an atomic.Bool stop flag — either passed as an argument to the spawned
+// call or referenced inside the spawned func literal. Anything else is a
+// goroutine the test harness cannot drain and the race detector cannot
+// order, i.e. a leak waiting for a refactor.
+//
+// The check is a syntactic heuristic, deliberately biased toward false
+// positives: a spawn that manages its lifetime some other way documents it
+// with //paratreet:allow(leakcheck) <why>.
+var LeakCheckAnalyzer = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "checks that goroutine launches are tied to a stop channel, WaitGroup, context, or atomic stop flag",
+	Run:  runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) error {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goStmtTied(info, g) {
+				pass.Reportf(g.Pos(),
+					"goroutine launched without a visible lifecycle tie (WaitGroup, context, channel, or atomic stop flag)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goStmtTied reports whether the spawn references any lifecycle mechanism:
+// in the call arguments, or anywhere inside a spawned func literal's body.
+func goStmtTied(info *types.Info, g *ast.GoStmt) bool {
+	tied := false
+	check := func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[expr]; ok && isLifecycleType(tv.Type) {
+			tied = true
+			return false
+		}
+		return true
+	}
+	for _, arg := range g.Call.Args {
+		ast.Inspect(arg, check)
+	}
+	if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, check)
+	}
+	return tied
+}
+
+// isLifecycleType reports whether t can tie a goroutine's lifetime:
+// channels, WaitGroups, contexts, and atomic.Bool stop flags.
+func isLifecycleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	switch t.String() {
+	case "sync.WaitGroup", "context.Context", "sync/atomic.Bool":
+		return true
+	}
+	return false
+}

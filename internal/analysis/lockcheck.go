@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheckAnalyzer enforces "// guarded by <mu>" field annotations: every
+// selector access to an annotated struct field must happen in a function
+// that acquires that mutex on the same receiver (a call to root.<mu>.Lock
+// or root.<mu>.RLock where root is the same identifier the access goes
+// through). The check is flow-insensitive — acquiring the mutex anywhere in
+// the function blesses all of that function's accesses — which matches the
+// lock-at-entry discipline the runtime uses and keeps the analyzer simple
+// and false-positive-light. Deliberate lock-free reads (e.g. publication
+// via quiescence) carry a //paratreet:allow(lockcheck) waiver with the
+// reason, so every escape from the discipline is auditable.
+//
+// Composite-literal construction (&T{field: ...}) is exempt: the value is
+// unpublished while being built.
+var LockCheckAnalyzer = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "checks that fields annotated '// guarded by <mu>' are only accessed while holding <mu> on the same receiver",
+	Run:  runLockCheck,
+}
+
+// guardedField records one annotated field and the mutex that guards it.
+// Fields are identified by declaration position, which is stable across
+// generic instantiation (an instantiated field's Var keeps the declaring
+// position), so accesses through Traversal[D, V] match the generic decl.
+type guardedField struct {
+	fieldName string
+	mutexName string
+	mutexPos  token.Pos
+}
+
+func runLockCheck(pass *Pass) error {
+	info := pass.TypesInfo()
+
+	// Pass 1: collect annotated fields, keyed by declaration position.
+	guarded := make(map[token.Pos]*guardedField)
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardedBy(field)
+				if mu == "" {
+					continue
+				}
+				// Resolve the named mutex to a sibling field of the struct.
+				var mutexPos token.Pos
+				for _, sib := range st.Fields.List {
+					for _, name := range sib.Names {
+						if name.Name == mu {
+							mutexPos = name.Pos()
+						}
+					}
+				}
+				for _, name := range field.Names {
+					if mutexPos == token.NoPos {
+						pass.Reportf(name.Pos(),
+							"field %q is annotated 'guarded by %s' but the struct has no field %q",
+							name.Name, mu, mu)
+						continue
+					}
+					guarded[name.Pos()] = &guardedField{
+						fieldName: name.Name,
+						mutexName: mu,
+						mutexPos:  mutexPos,
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	// Pass 2: per function, record mutex acquisitions then check accesses.
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockFunc(pass, info, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// lockKey identifies one (receiver object, mutex declaration) acquisition.
+type lockKey struct {
+	root     types.Object
+	mutexPos token.Pos
+}
+
+func checkLockFunc(pass *Pass, info *types.Info, fd *ast.FuncDecl, guarded map[token.Pos]*guardedField) {
+	// Acquisitions: calls of the form root...<mu>.Lock() / RLock() where
+	// <mu> selects a field whose declaration is a known guard mutex.
+	held := make(map[lockKey]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		muField := fieldObjOf(info, muSel)
+		if muField == nil {
+			return true
+		}
+		if root := rootIdentObj(info, muSel.X); root != nil {
+			held[lockKey{root, muField.Pos()}] = true
+		}
+		return true
+	})
+
+	// Accesses: selector expressions resolving to guarded fields.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fieldObj := fieldObjOf(info, sel)
+		if fieldObj == nil {
+			return true
+		}
+		gf, ok := guarded[fieldObj.Pos()]
+		if !ok {
+			return true
+		}
+		root := rootIdentObj(info, sel.X)
+		if root != nil && held[lockKey{root, gf.mutexPos}] {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"field %q is guarded by %q but %s accesses it without acquiring %s on the same receiver",
+			gf.fieldName, gf.mutexName, fd.Name.Name, gf.mutexName)
+		return true
+	})
+}
+
+// fieldObjOf resolves a selector to the struct field it selects, or nil
+// when the selector is not a field selection.
+func fieldObjOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}

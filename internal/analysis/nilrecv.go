@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NilRecvAnalyzer enforces the disabled-observability contract: every
+// exported pointer-receiver method of a type marked //paratreet:nilsafe
+// must begin with a nil-receiver guard, so a nil handle (the disabled
+// metrics layer) is always safe to call. Accepted shapes:
+//
+//	func (c *Counter) Inc() { if c == nil { return } ... }   // guard first
+//	func (r *Registry) Enabled() bool { return r != nil }    // single return
+//	func (*T) Doc() string { return "..." }                  // unnamed recv
+//
+// Unexported methods and value receivers are exempt (the former are only
+// reachable through guarded exported paths; the latter cannot be nil).
+var NilRecvAnalyzer = &Analyzer{
+	Name: "nilrecv",
+	Doc:  "checks that exported pointer methods on //paratreet:nilsafe types begin with a nil-receiver guard",
+	Run:  runNilRecv,
+}
+
+func runNilRecv(pass *Pass) error {
+	info := pass.TypesInfo()
+
+	// Collect //paratreet:nilsafe type names. The directive may sit on the
+	// TypeSpec or, for single-spec declarations, on the GenDecl.
+	nilsafe := make(map[types.Object]bool)
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasDirective(ts.Doc, DirNilSafe) || (len(gd.Specs) == 1 && hasDirective(gd.Doc, DirNilSafe)) {
+					if obj := info.Defs[ts.Name]; obj != nil {
+						nilsafe[obj] = true
+					}
+				}
+			}
+		}
+	}
+	if len(nilsafe) == 0 {
+		return nil
+	}
+
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			// Pointer receivers only: a value receiver cannot be nil.
+			star, ok := recv.Type.(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			base := ast.Unparen(star.X)
+			// Strip generic receiver type parameters: *T[D] -> T.
+			switch b := base.(type) {
+			case *ast.IndexExpr:
+				base = b.X
+			case *ast.IndexListExpr:
+				base = b.X
+			}
+			id, ok := base.(*ast.Ident)
+			if !ok || !nilsafe[info.Uses[id]] {
+				continue
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				continue // receiver unused; nil cannot be dereferenced
+			}
+			if !startsWithNilGuard(fd.Body, recv.Names[0].Name) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported method %s on nilsafe type %s must begin with a nil-receiver guard (if %s == nil { ... })",
+					fd.Name.Name, id.Name, recv.Names[0].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// startsWithNilGuard reports whether the body's first statement guards the
+// named receiver against nil: either `if recv == nil { ...; return }` or a
+// single `return <expr>` whose expression compares recv with nil.
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return true // empty body cannot dereference
+	}
+	switch first := body.List[0].(type) {
+	case *ast.IfStmt:
+		if first.Init != nil || !isNilComparison(first.Cond, recv) {
+			return false
+		}
+		if len(first.Body.List) == 0 {
+			return false
+		}
+		_, isReturn := first.Body.List[len(first.Body.List)-1].(*ast.ReturnStmt)
+		return isReturn
+	case *ast.ReturnStmt:
+		if len(body.List) != 1 {
+			return false
+		}
+		for _, res := range first.Results {
+			if exprComparesNil(res, recv) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isNilComparison matches `recv == nil`.
+func isNilComparison(cond ast.Expr, recv string) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "==" {
+		return false
+	}
+	return (isIdentNamed(be.X, recv) && isIdentNamed(be.Y, "nil")) ||
+		(isIdentNamed(be.Y, recv) && isIdentNamed(be.X, "nil"))
+}
+
+// exprComparesNil reports whether expr contains any ==/!= comparison of
+// the receiver with nil.
+func exprComparesNil(expr ast.Expr, recv string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok {
+			op := be.Op.String()
+			if (op == "==" || op == "!=") &&
+				((isIdentNamed(be.X, recv) && isIdentNamed(be.Y, "nil")) ||
+					(isIdentNamed(be.Y, recv) && isIdentNamed(be.X, "nil"))) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}

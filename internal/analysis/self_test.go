@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"paratreet/internal/analysis"
+)
+
+// TestRepoIsLintClean is the meta-test: every analyzer, run over the whole
+// module, must come back empty. This is the same sweep `paratreet-lint ./...`
+// (and the ci.sh lint stage) performs, so a regression here fails both.
+func TestRepoIsLintClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := wd
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			t.Fatal("no go.mod above the test directory")
+		}
+		root = parent
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader found no packages")
+	}
+
+	diags, err := analysis.Run(pkgs, analysis.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,86 @@
+// Package atomicaligndata seeds alignment and mixed-access violations for
+// the atomicalign analyzer's golden test.
+package atomicaligndata
+
+import "sync/atomic"
+
+// misaligned puts a 64-bit atomically-accessed field after a bool: on
+// 32-bit platforms the field lands at offset 4.
+type misaligned struct {
+	flag bool
+	n    int64 // want `64-bit field "n" is accessed with sync/atomic but sits at offset 4 on 32-bit platforms`
+}
+
+func (m *misaligned) inc() {
+	atomic.AddInt64(&m.n, 1)
+}
+
+// aligned leads with its 64-bit fields: fine on every platform.
+type aligned struct {
+	n    int64
+	m    uint64
+	flag bool
+}
+
+func (a *aligned) inc() {
+	atomic.AddInt64(&a.n, 1)
+	atomic.AddUint64(&a.m, 1)
+}
+
+// typed uses the atomic wrapper types, which align themselves: never
+// flagged, wherever they sit.
+type typed struct {
+	flag bool
+	n    atomic.Int64
+}
+
+func (t *typed) inc() {
+	t.n.Add(1)
+}
+
+// mixed is read atomically in one place and plainly in another.
+type mixed struct {
+	n int64
+}
+
+func (m *mixed) inc() {
+	atomic.AddInt64(&m.n, 1)
+}
+
+func (m *mixed) read() int64 {
+	return m.n // want `field "n" is accessed both atomically \(via sync/atomic\) and by this plain access`
+}
+
+func (m *mixed) waivedReset() {
+	m.n = 0 //paratreet:allow(atomicalign) called before the workers start, no concurrent access
+}
+
+// small32 checks that 32-bit atomics trigger the mixed-access check but
+// not the alignment check.
+type small32 struct {
+	flag bool
+	c    uint32
+}
+
+func (s *small32) inc() {
+	atomic.AddUint32(&s.c, 1)
+}
+
+func (s *small32) read() uint32 {
+	return s.c // want `field "c" is accessed both atomically`
+}
+
+func use() int64 {
+	mi := &misaligned{}
+	mi.inc()
+	al := &aligned{}
+	al.inc()
+	ty := &typed{}
+	ty.inc()
+	mx := &mixed{}
+	mx.inc()
+	mx.waivedReset()
+	sm := &small32{}
+	sm.inc()
+	return atomic.LoadInt64(&mi.n) + int64(atomic.LoadUint32(&sm.c)) + mx.read() + int64(sm.read())
+}

@@ -1,0 +1,90 @@
+// Package leakcheckdata seeds untied-goroutine violations for the
+// leakcheck analyzer's golden test.
+package leakcheckdata
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// tiedWaitGroup: the spawned literal references the WaitGroup.
+func tiedWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// tiedArg: the WaitGroup rides along as a call argument.
+func tiedArg(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go drain(wg)
+}
+
+func drain(wg *sync.WaitGroup) { wg.Done() }
+
+// tiedContext: a context argument ties the goroutine's lifetime.
+func tiedContext(ctx context.Context) {
+	go loop(ctx)
+}
+
+func loop(ctx context.Context) { <-ctx.Done() }
+
+// tiedStop: the literal selects on a stop channel.
+func tiedStop(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// tiedFlag: an atomic.Bool stop flag is a recognized tie.
+type server struct {
+	stopping atomic.Bool
+}
+
+func (s *server) run() {
+	go func() {
+		for !s.stopping.Load() {
+		}
+	}()
+}
+
+// leakyLiteral spins forever with no way to stop it.
+func leakyLiteral() {
+	go func() { // want `goroutine launched without a visible lifecycle tie`
+		for {
+		}
+	}()
+}
+
+// leakyCall passes nothing that could stop the callee.
+func leakyCall() {
+	go spin(42) // want `goroutine launched without a visible lifecycle tie`
+}
+
+func spin(int) {}
+
+// waived: a documented exemption.
+func waived() {
+	go spin(7) //paratreet:allow(leakcheck) completes in bounded time, joined via the machine's pending counter
+}
+
+func use() {
+	var wg sync.WaitGroup
+	tiedWaitGroup(&wg)
+	tiedArg(&wg)
+	tiedContext(context.Background())
+	tiedStop(make(chan struct{}))
+	(&server{}).run()
+	leakyLiteral()
+	leakyCall()
+	waived()
+	wg.Wait()
+}

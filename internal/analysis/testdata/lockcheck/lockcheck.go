@@ -1,0 +1,75 @@
+// Package lockcheckdata seeds guarded-field violations for the lockcheck
+// analyzer's golden test.
+package lockcheckdata
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	// items is the guarded slice.
+	items []int // guarded by mu
+	n     int   // guarded by mu
+	free  int   // unannotated: never checked
+}
+
+func (b *box) goodLocked() {
+	b.mu.Lock()
+	b.items = append(b.items, 1)
+	b.n++
+	b.mu.Unlock()
+	b.free++
+}
+
+func (b *box) goodDeferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items) + b.n
+}
+
+func (b *box) badWrite() {
+	b.items = nil // want `field "items" is guarded by "mu" but badWrite accesses it without acquiring`
+}
+
+func (b *box) badRead() int {
+	return b.n // want `field "n" is guarded by "mu" but badRead accesses it without acquiring`
+}
+
+func (b *box) waived() int {
+	return b.n //paratreet:allow(lockcheck) snapshot read during quiescence, no concurrent writers
+}
+
+// crossReceiver locks a's mutex but touches b's guarded field too: the
+// acquisition must be on the same receiver as the access.
+func crossReceiver(a, c *box) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.items = nil
+	c.items = nil // want `field "items" is guarded by "mu" but crossReceiver accesses it without acquiring`
+}
+
+type rw struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (r *rw) goodRLocked() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m["k"]
+}
+
+func (r *rw) badLen() int {
+	return len(r.m) // want `field "m" is guarded by "mu" but badLen accesses it without acquiring`
+}
+
+// construct is exempt: composite-literal fields are not selector accesses,
+// and an unpublished value has no concurrent readers.
+func construct() *rw {
+	return &rw{m: map[string]int{}}
+}
+
+type misannotated struct {
+	x int // guarded by missing // want `annotated 'guarded by missing' but the struct has no field "missing"`
+}
+
+func useMisannotated(m *misannotated) int { return m.x }

@@ -1,0 +1,82 @@
+// Package nilrecvdata seeds nil-receiver-guard violations for the nilrecv
+// analyzer's golden test.
+package nilrecvdata
+
+// Counter mimics a nil-safe metrics handle.
+//
+//paratreet:nilsafe
+type Counter struct {
+	n int64
+}
+
+// Inc is properly guarded.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Value is missing its guard.
+func (c *Counter) Value() int64 { // want `exported method Value on nilsafe type Counter must begin with a nil-receiver guard`
+	return c.n
+}
+
+// Enabled's whole body is the nil comparison: accepted.
+func (c *Counter) Enabled() bool { return c != nil }
+
+// reset is unexported: only reachable through guarded exported paths.
+func (c *Counter) reset() { c.n = 0 }
+
+// Snap has a value receiver: a nil pointer cannot reach it without the
+// caller dereferencing first.
+func (c Counter) Snap() int64 { return c.n }
+
+// Doc never names its receiver, so nothing can be dereferenced.
+func (*Counter) Doc() string { return "counter" }
+
+// GuardedLate guards, but not first — the earlier dereference crashes.
+func (c *Counter) GuardedLate() int64 { // want `must begin with a nil-receiver guard`
+	v := c.n
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+// Plain is unmarked: no guard required.
+type Plain struct{ n int }
+
+func (p *Plain) Get() int { return p.n }
+
+// Gauge checks guard detection through a generic receiver.
+//
+//paratreet:nilsafe
+type Gauge[T any] struct {
+	v T
+}
+
+// Load is properly guarded.
+func (g *Gauge[T]) Load() (T, bool) {
+	if g == nil {
+		var zero T
+		return zero, false
+	}
+	return g.v, true
+}
+
+// Store is missing its guard.
+func (g *Gauge[T]) Store(v T) { // want `exported method Store on nilsafe type Gauge must begin with a nil-receiver guard`
+	g.v = v
+}
+
+var _ = func() int {
+	c := &Counter{}
+	c.Inc()
+	c.reset()
+	g := &Gauge[int]{}
+	g.Store(1)
+	v, _ := g.Load()
+	p := &Plain{}
+	return int(c.Value()) + int(c.Snap()) + len(c.Doc()) + len((*Counter)(nil).Doc()) + v + p.Get() + int(c.GuardedLate())
+}()

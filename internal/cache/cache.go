@@ -95,10 +95,12 @@ type Cache[D any] struct {
 
 	// localRoots is the process-level hash table of local subtree roots
 	// (Fig 2, bottom left). It is written under rootsMu during tree build
-	// and read without locking during traversal.
+	// and read without locking during traversal — the build/traverse phase
+	// barrier orders the writes, so traversal-side reads carry
+	// //paratreet:allow(lockcheck) waivers instead of taking the lock.
 	rootsMu    sync.Mutex
-	localRoots map[uint64]*tree.Node[D]
-	sortedKeys []uint64
+	localRoots map[uint64]*tree.Node[D] // guarded by rootsMu
+	sortedKeys []uint64                 // guarded by rootsMu
 
 	views []*view[D]
 
@@ -117,8 +119,41 @@ type cacheMetrics struct {
 	fetchRTT *metrics.Histogram
 	insertNs *metrics.Histogram
 	// reqAt maps in-flight (key, view) to the request issue time, for the
-	// fetch round-trip histogram.
-	reqAt sync.Map
+	// fetch round-trip histogram. A plain map under its own mutex: the
+	// previous sync.Map had to be "cleared" in Reset by assigning a fresh
+	// sync.Map over the old one, which copies the internal mutex and races
+	// with concurrent Store/LoadAndDelete calls.
+	reqMu sync.Mutex
+	reqAt map[reqID]time.Time // guarded by reqMu
+}
+
+// noteRequest records the issue time of an in-flight request. The map is
+// allocated lazily so the metrics-off path never touches it.
+func (m *cacheMetrics) noteRequest(id reqID, at time.Time) {
+	m.reqMu.Lock()
+	if m.reqAt == nil {
+		m.reqAt = make(map[reqID]time.Time)
+	}
+	m.reqAt[id] = at
+	m.reqMu.Unlock()
+}
+
+// takeRequest removes and returns the issue time recorded for id.
+func (m *cacheMetrics) takeRequest(id reqID) (time.Time, bool) {
+	m.reqMu.Lock()
+	at, ok := m.reqAt[id]
+	if ok {
+		delete(m.reqAt, id)
+	}
+	m.reqMu.Unlock()
+	return at, ok
+}
+
+// resetRequests drops all in-flight timestamps.
+func (m *cacheMetrics) resetRequests() {
+	m.reqMu.Lock()
+	m.reqAt = nil
+	m.reqMu.Unlock()
 }
 
 // reqID identifies an in-flight request; under PerThread the same key can
@@ -189,13 +224,17 @@ func (c *Cache[D]) RegisterLocal(n *tree.Node[D]) {
 }
 
 // LocalRoots returns the hash table of local subtree roots.
-func (c *Cache[D]) LocalRoots() map[uint64]*tree.Node[D] { return c.localRoots }
+func (c *Cache[D]) LocalRoots() map[uint64]*tree.Node[D] {
+	//paratreet:allow(lockcheck) read after the build barrier; no writers during traversal
+	return c.localRoots
+}
 
 // BuildViews constructs the process's top-tree view(s) from the broadcast
 // subtree-root summaries (the top-share step). Under PerThread each worker
 // gets an independent view with its own placeholders.
 func (c *Cache[D]) BuildViews(sums []tree.RootSummary, acc tree.Accumulator[D]) error {
 	for _, v := range c.views {
+		//paratreet:allow(lockcheck) top-share runs after every RegisterLocal; no concurrent writers
 		root, err := tree.BuildTop(sums, c.treeType, c.localRoots, c.codec, acc)
 		if err != nil {
 			return err
@@ -219,7 +258,7 @@ func (c *Cache[D]) Reset() {
 		v.root = nil
 		v.pending = sync.Map{}
 	}
-	c.mx.reqAt = sync.Map{}
+	c.mx.resetRequests()
 }
 
 // Request ensures node n (a KindRemote or KindRemoteLeaf placeholder in
@@ -237,7 +276,7 @@ func (c *Cache[D]) Request(viewID int, n *tree.Node[D], resume func()) bool {
 		c.proc.Stats().NodeRequests.Add(1)
 		if c.mx.enabled {
 			c.mx.fetches.Inc(c.proc.Rank())
-			c.mx.reqAt.Store(reqID{n.Key, viewID}, time.Now())
+			c.mx.noteRequest(reqID{n.Key, viewID}, time.Now())
 		}
 		c.proc.Send(int(n.Owner), RequestMsg{Key: n.Key, Requester: c.proc.Rank(), View: viewID}, requestMsgBytes)
 	} else {
@@ -278,8 +317,8 @@ func (c *Cache[D]) HandleFill(msg FillMsg) {
 		if c.mx.enabled {
 			c.mx.inserts.Inc(c.proc.Rank())
 			c.mx.insertNs.Observe(int64(time.Since(start)))
-			if at, ok := c.mx.reqAt.LoadAndDelete(reqID{msg.Key, msg.View}); ok {
-				c.mx.fetchRTT.Observe(int64(time.Since(at.(time.Time))))
+			if at, ok := c.mx.takeRequest(reqID{msg.Key, msg.View}); ok {
+				c.mx.fetchRTT.Observe(int64(time.Since(at)))
 			}
 		}
 	}
@@ -315,6 +354,7 @@ func (c *Cache[D]) insert(msg FillMsg) {
 		defer c.insertMu.Unlock()
 	}
 
+	//paratreet:allow(lockcheck) fills arrive during traversal, after the build barrier froze the table
 	fetched, err := tree.DeserializeSubtree(msg.Blob, c.treeType.LogB(), c.codec, c.localRoots)
 	if err != nil {
 		panic(fmt.Sprintf("cache: bad fill for key %#x: %v", msg.Key, err))
@@ -339,8 +379,10 @@ func (c *Cache[D]) insert(msg FillMsg) {
 func (c *Cache[D]) FindLocal(key uint64) *tree.Node[D] {
 	logB := c.treeType.LogB()
 	var root *tree.Node[D]
+	//paratreet:allow(lockcheck) traversal-time read; the table is frozen after the build barrier
 	for _, rk := range c.sortedKeys {
 		if tree.IsAncestorKey(rk, key, logB) {
+			//paratreet:allow(lockcheck) traversal-time read; the table is frozen after the build barrier
 			root = c.localRoots[rk]
 			break
 		}

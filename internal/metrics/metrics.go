@@ -74,6 +74,8 @@ type cell struct {
 // Counter is a sharded atomic counter. The zero Counter is not usable;
 // obtain counters from a Registry. A nil *Counter is a disabled counter:
 // Add and Inc are no-ops and Value returns 0.
+//
+//paratreet:nilsafe
 type Counter struct {
 	shards []cell
 	mask   uint32
@@ -88,6 +90,8 @@ func newCounter(shards int) *Counter {
 }
 
 // Inc adds 1 on the given shard (any cheap hint: worker id, rank, ...).
+//
+//paratreet:hotpath
 func (c *Counter) Inc(shard int) {
 	if c == nil {
 		return
@@ -96,6 +100,8 @@ func (c *Counter) Inc(shard int) {
 }
 
 // Add adds delta on the given shard.
+//
+//paratreet:hotpath
 func (c *Counter) Add(shard int, delta int64) {
 	if c == nil {
 		return
@@ -129,6 +135,8 @@ const histBuckets = 64
 
 // Histogram is a lock-free power-of-two-bucketed histogram of int64
 // values (typically nanoseconds). A nil *Histogram is disabled.
+//
+//paratreet:nilsafe
 type Histogram struct {
 	counts [histBuckets]atomic.Int64
 	sum    atomic.Int64
@@ -145,6 +153,8 @@ func newHistogram() *Histogram {
 }
 
 // Observe records one value.
+//
+//paratreet:hotpath
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
@@ -241,13 +251,15 @@ type Options struct {
 // Registry owns a named set of counters and histograms plus an optional
 // tracer. A nil *Registry is the disabled layer: every method is a no-op
 // returning nil/zero handles that are themselves safe to use.
+//
+//paratreet:nilsafe
 type Registry struct {
 	opts   Options
 	tracer *Tracer
 
 	mu       sync.Mutex
-	counters map[string]*Counter
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry constructs an enabled registry.

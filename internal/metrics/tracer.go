@@ -23,14 +23,16 @@ type Span struct {
 // dropped). Span recording happens at phase granularity — per traversal
 // pump, per fill insert, per resume batch — not per tree node, so a small
 // mutex-guarded ring is cheap relative to the work being traced.
+//
+//paratreet:nilsafe
 type Tracer struct {
 	epoch time.Time
 
 	mu      sync.Mutex
-	ring    []Span
-	next    int
-	wrapped bool
-	total   int64
+	ring    []Span // guarded by mu
+	next    int    // guarded by mu
+	wrapped bool   // guarded by mu
+	total   int64  // guarded by mu
 }
 
 func newTracer(capacity int) *Tracer {

@@ -398,7 +398,7 @@ type Proc struct {
 	workers []*worker
 
 	inboxMu   sync.Mutex
-	inbox     []message
+	inbox     []message // guarded by inboxMu
 	inboxCond *sync.Cond
 
 	dispatcher atomic.Pointer[func(from int, payload any)]
@@ -501,6 +501,8 @@ func (p *Proc) enqueueMessage(msg message) {
 
 // Submit enqueues task on the currently least busy worker of this process
 // (the paper's placement policy for remote fill handling).
+//
+//paratreet:hotpath
 func (p *Proc) Submit(task func()) {
 	best := 0
 	bestLen := int64(1 << 62)
@@ -517,12 +519,16 @@ func (p *Proc) Submit(task func()) {
 
 // SubmitTo enqueues task on a specific worker. Directed tasks are never
 // stolen by siblings, so tasks sent to one worker serialize.
+//
+//paratreet:hotpath
 func (p *Proc) SubmitTo(workerID int, task func()) {
 	p.machine.pending.Add(1)
 	p.workers[workerID].push(task, true)
 }
 
 // submitShared enqueues a stealable task on the given worker.
+//
+//paratreet:hotpath
 func (p *Proc) submitShared(workerID int, task func()) {
 	p.machine.pending.Add(1)
 	p.workers[workerID].push(task, false)
@@ -582,8 +588,8 @@ type worker struct {
 	id   int
 
 	mu     sync.Mutex
-	pinned []func()
-	queue  []func()
+	pinned []func() // guarded by mu
+	queue  []func() // guarded by mu
 	qlen   atomic.Int64
 
 	// busy accumulates task-execution nanos, the basis of the virtual
@@ -594,6 +600,7 @@ type worker struct {
 	tasks atomic.Int64
 }
 
+//paratreet:hotpath
 func (w *worker) push(task func(), pin bool) {
 	w.mu.Lock()
 	if pin {
@@ -607,37 +614,45 @@ func (w *worker) push(task func(), pin bool) {
 
 // pop takes from the front of the own queues (FIFO for fairness), pinned
 // tasks first.
+//
+//paratreet:hotpath
 func (w *worker) pop() func() {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if len(w.pinned) > 0 {
 		t := w.pinned[0]
 		w.pinned = w.pinned[1:]
 		w.qlen.Add(-1)
+		w.mu.Unlock()
 		return t
 	}
 	if len(w.queue) == 0 {
+		w.mu.Unlock()
 		return nil
 	}
 	t := w.queue[0]
 	w.queue = w.queue[1:]
 	w.qlen.Add(-1)
+	w.mu.Unlock()
 	return t
 }
 
 // stealFrom takes from the back of a sibling's queue.
+//
+//paratreet:hotpath
 func (w *worker) stealFrom(v *worker) func() {
 	v.mu.Lock()
-	defer v.mu.Unlock()
 	if len(v.queue) == 0 {
+		v.mu.Unlock()
 		return nil
 	}
 	t := v.queue[len(v.queue)-1]
 	v.queue = v.queue[:len(v.queue)-1]
 	v.qlen.Add(-1)
+	v.mu.Unlock()
 	return t
 }
 
+//paratreet:hotpath
 func (w *worker) next() func() {
 	if t := w.pop(); t != nil {
 		return t

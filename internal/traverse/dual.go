@@ -90,7 +90,7 @@ type Dual[D any, V DualVisitor[D]] struct {
 	mx engineMetrics
 
 	mu      sync.Mutex
-	stack   []dualFrame[D]
+	stack   []dualFrame[D] // guarded by mu
 	running atomic.Bool
 
 	outstanding atomic.Int64
@@ -123,7 +123,7 @@ func NewDual[D any, V DualVisitor[D]](proc *rt.Proc, c *cache.Cache[D], viewID i
 // Start launches the traversal from (view root, all buckets).
 func (d *Dual[D, V]) Start() {
 	d.push(dualFrame[D]{node: d.cache.Root(d.viewID), group: d.root})
-	task := func() { d.proc.TimePhase(rt.PhaseLocalTraversal, d.pump) }
+	task := func() { d.timedPump(rt.PhaseLocalTraversal) }
 	if d.cache.Policy() == cache.PerThread {
 		d.proc.SubmitTo(d.viewID, task)
 	} else {
@@ -134,6 +134,7 @@ func (d *Dual[D, V]) Start() {
 // Done reports completion.
 func (d *Dual[D, V]) Done() bool { return d.outstanding.Load() == 0 }
 
+//paratreet:hotpath
 func (d *Dual[D, V]) push(f dualFrame[D]) {
 	d.outstanding.Add(1)
 	d.mu.Lock()
@@ -141,23 +142,35 @@ func (d *Dual[D, V]) push(f dualFrame[D]) {
 	d.mu.Unlock()
 }
 
+//paratreet:hotpath
 func (d *Dual[D, V]) pop() (dualFrame[D], bool) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if len(d.stack) == 0 {
+		d.mu.Unlock()
 		return dualFrame[D]{}, false
 	}
 	f := d.stack[len(d.stack)-1]
 	d.stack = d.stack[:len(d.stack)-1]
+	d.mu.Unlock()
 	return f, true
 }
 
+// timedPump runs one pump session with task-granularity timing, mirroring
+// Traversal.timedPump: WorkNanos and the phase timer accrue here so the
+// pump loop stays clock-free.
+func (d *Dual[D, V]) timedPump(ph rt.Phase) {
+	start := time.Now()
+	d.pump()
+	d.WorkNanos.Add(int64(time.Since(start)))
+	d.proc.PhaseSince(ph, start)
+}
+
+//paratreet:hotpath
 func (d *Dual[D, V]) pump() {
 	for {
 		if !d.running.CompareAndSwap(false, true) {
 			return
 		}
-		start := time.Now()
 		for {
 			f, ok := d.pop()
 			if !ok {
@@ -165,7 +178,6 @@ func (d *Dual[D, V]) pump() {
 			}
 			d.process(f)
 		}
-		d.WorkNanos.Add(int64(time.Since(start)))
 		d.running.Store(false)
 		d.mu.Lock()
 		empty := len(d.stack) == 0
@@ -176,12 +188,14 @@ func (d *Dual[D, V]) pump() {
 	}
 }
 
+//paratreet:hotpath
 func (d *Dual[D, V]) finishFrame() {
 	if d.outstanding.Add(-1) == 0 && d.onDone != nil {
 		d.onDone()
 	}
 }
 
+//paratreet:hotpath
 func (d *Dual[D, V]) process(f dualFrame[D]) {
 	n := f.node
 	kind := n.Kind()
@@ -260,6 +274,9 @@ func (d *Dual[D, V]) process(f dualFrame[D]) {
 	d.finishFrame()
 }
 
+// pause is the dual traversal's miss path; see Traversal.pause.
+//
+//paratreet:coldpath
 func (d *Dual[D, V]) pause(f dualFrame[D]) {
 	if f.parent == nil {
 		panic("traverse: remote dual node with no parent")
@@ -268,15 +285,13 @@ func (d *Dual[D, V]) pause(f dualFrame[D]) {
 		d.mx.misses.Inc(d.mx.shard)
 	}
 	resume := func() {
-		start := time.Now()
 		if d.mx.enabled {
 			d.mx.resumes.Inc(d.mx.shard)
 		}
 		fresh := f.parent.Child(f.childIdx)
 		d.push(dualFrame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, group: f.group})
 		d.finishFrame()
-		d.pump()
-		d.proc.PhaseSince(rt.PhaseResume, start)
+		d.timedPump(rt.PhaseResume)
 	}
 	if d.cache.Request(d.viewID, f.node, resume) {
 		if d.mx.enabled {

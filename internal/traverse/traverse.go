@@ -63,6 +63,8 @@ func newEngineMetrics(proc *rt.Proc) engineMetrics {
 
 // frameCounts flushes one frame's decision tallies. hit marks a frame
 // served from the software cache (a fetched remote node with data).
+//
+//paratreet:hotpath
 func (m *engineMetrics) frameCounts(opens, prunes int64, hit bool) {
 	m.visits.Inc(m.shard)
 	if opens != 0 {
@@ -78,6 +80,8 @@ func (m *engineMetrics) frameCounts(opens, prunes int64, hit bool) {
 
 // isCachedRemote reports whether a node's data was served from the cache
 // (fetched from another process earlier in the traversal).
+//
+//paratreet:hotpath
 func isCachedRemote(k tree.Kind) bool {
 	return k == tree.KindCachedRemote || k == tree.KindCachedRemoteLeaf
 }
@@ -150,7 +154,7 @@ type Traversal[D any, V Visitor[D]] struct {
 	mx engineMetrics
 
 	mu      sync.Mutex
-	stack   []frame[D]
+	stack   []frame[D] // guarded by mu
 	running atomic.Bool
 
 	outstanding atomic.Int64
@@ -191,11 +195,7 @@ func (t *Traversal[D, V]) Start() {
 		}
 		t.push(frame[D]{node: root, active: active})
 	}
-	task := func() {
-		start := time.Now()
-		t.pump()
-		t.proc.PhaseSince(rt.PhaseLocalTraversal, start)
-	}
+	task := func() { t.timedPump(rt.PhaseLocalTraversal) }
 	if t.cache.Policy() == cache.PerThread {
 		t.proc.SubmitTo(t.viewID, task)
 	} else {
@@ -206,6 +206,7 @@ func (t *Traversal[D, V]) Start() {
 // Done reports whether every frame (including paused ones) has completed.
 func (t *Traversal[D, V]) Done() bool { return t.outstanding.Load() == 0 }
 
+//paratreet:hotpath
 func (t *Traversal[D, V]) push(f frame[D]) {
 	t.outstanding.Add(1)
 	t.mu.Lock()
@@ -213,26 +214,41 @@ func (t *Traversal[D, V]) push(f frame[D]) {
 	t.mu.Unlock()
 }
 
+//paratreet:hotpath
 func (t *Traversal[D, V]) pop() (frame[D], bool) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if len(t.stack) == 0 {
+		t.mu.Unlock()
 		return frame[D]{}, false
 	}
 	f := t.stack[len(t.stack)-1]
 	t.stack = t.stack[:len(t.stack)-1]
+	t.mu.Unlock()
 	return f, true
+}
+
+// timedPump runs one pump session, accruing its wall time into WorkNanos
+// (the load-balancer input) and the given phase timer. Timing lives here,
+// at task granularity, so the pump loop and frame evaluator stay
+// clock-free: before this hoist the pump read the clock twice per actor
+// session and resumes paid a third read inside the hot loop.
+func (t *Traversal[D, V]) timedPump(ph rt.Phase) {
+	start := time.Now()
+	t.pump()
+	t.WorkNanos.Add(int64(time.Since(start)))
+	t.proc.PhaseSince(ph, start)
 }
 
 // pump drains the frame stack while holding the traversal's actor role.
 // Only one goroutine pumps at a time, giving chare-style serialization so
 // visitor writes to buckets race-free.
+//
+//paratreet:hotpath
 func (t *Traversal[D, V]) pump() {
 	for {
 		if !t.running.CompareAndSwap(false, true) {
 			return // someone else is pumping; frames will be drained
 		}
-		start := time.Now()
 		for {
 			f, ok := t.pop()
 			if !ok {
@@ -240,7 +256,6 @@ func (t *Traversal[D, V]) pump() {
 			}
 			t.process(f)
 		}
-		t.WorkNanos.Add(int64(time.Since(start)))
 		t.running.Store(false)
 		// Re-check: a frame may have been pushed between pop failure and
 		// clearing the flag; if so, try to become the pumper again.
@@ -254,6 +269,8 @@ func (t *Traversal[D, V]) pump() {
 }
 
 // finishFrame retires one frame and fires onDone at zero.
+//
+//paratreet:hotpath
 func (t *Traversal[D, V]) finishFrame() {
 	if t.outstanding.Add(-1) == 0 && t.onDone != nil {
 		t.onDone()
@@ -262,6 +279,8 @@ func (t *Traversal[D, V]) finishFrame() {
 
 // process evaluates one frame. It may push child frames, pause on remote
 // placeholders, or apply visitor interactions.
+//
+//paratreet:hotpath
 func (t *Traversal[D, V]) process(f frame[D]) {
 	n := f.node
 	t.NodesVisited.Add(1)
@@ -351,6 +370,8 @@ func (t *Traversal[D, V]) process(f frame[D]) {
 // early and distant subtrees — including remote placeholders, whose
 // extent is unknown and which are explored last, often after the radius
 // has shrunk enough to prune them without a fetch — never open.
+//
+//paratreet:hotpath
 func (t *Traversal[D, V]) pushChildrenNearFirst(n *tree.Node[D], remain []int32) {
 	b := t.buckets[remain[0]]
 	center := b.Box.Center()
@@ -389,6 +410,12 @@ func (t *Traversal[D, V]) pushChildrenNearFirst(n *tree.Node[D], remain []int32)
 // remote request (once per node per view). The frame's outstanding count
 // is carried by the parked continuation. If the fill already landed, the
 // frame is retried inline against the fresh child pointer.
+//
+// pause is the traversal's miss path — reached only when a frame hits a
+// remote placeholder — so it may allocate the resume closure and take the
+// task-granularity clock reads the pump itself avoids.
+//
+//paratreet:coldpath
 func (t *Traversal[D, V]) pause(f frame[D]) {
 	if f.parent == nil {
 		// The view root is never remote; a parentless remote frame would be
@@ -400,15 +427,13 @@ func (t *Traversal[D, V]) pause(f frame[D]) {
 		t.mx.misses.Inc(t.mx.shard)
 	}
 	resume := func() {
-		start := time.Now()
 		if t.mx.enabled {
 			t.mx.resumes.Inc(t.mx.shard)
 		}
 		fresh := f.parent.Child(f.childIdx)
 		t.push(frame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, active: f.active})
 		t.finishFrame() // the paused frame is replaced by the fresh one
-		t.pump()
-		t.proc.PhaseSince(rt.PhaseResume, start)
+		t.timedPump(rt.PhaseResume)
 	}
 	if t.cache.Request(t.viewID, f.node, resume) {
 		if t.mx.enabled {

@@ -35,7 +35,7 @@ func (u *UpDown[D, V]) Start() {
 		u.seedBucket(int32(bi), logB)
 	}
 	task := func() {
-		u.proc.TimePhase(rt.PhaseLocalTraversal, u.pump)
+		u.timedPump(rt.PhaseLocalTraversal)
 	}
 	if u.cache.Policy() == cache.PerThread {
 		u.proc.SubmitTo(u.viewID, task)

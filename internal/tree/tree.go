@@ -158,6 +158,8 @@ func NewNode[D any](key uint64, level int, kind Kind, nchildren int) *Node[D] {
 }
 
 // Kind returns the node's current kind (atomically loaded).
+//
+//paratreet:hotpath
 func (n *Node[D]) Kind() Kind { return Kind(n.kind.Load()) }
 
 // SetKind atomically updates the node's kind.
@@ -168,6 +170,8 @@ func (n *Node[D]) SetKind(k Kind) { n.kind.Store(uint32(k)) }
 func (n *Node[D]) NumChildren() int { return len(n.children) }
 
 // Child returns the i-th child pointer (atomically loaded), or nil.
+//
+//paratreet:hotpath
 func (n *Node[D]) Child(i int) *Node[D] {
 	if i < 0 || i >= len(n.children) {
 		return nil
@@ -184,6 +188,8 @@ func (n *Node[D]) SetChild(i int, c *Node[D]) {
 // SwapChild atomically replaces child i if it currently equals old. It
 // returns true on success. This is the publication point of the wait-free
 // cache (Step 4 in the paper's Fig 2).
+//
+//paratreet:hotpath
 func (n *Node[D]) SwapChild(i int, old, new *Node[D]) bool {
 	new.Parent = n
 	return n.children[i].CompareAndSwap(old, new)
@@ -197,6 +203,8 @@ func (n *Node[D]) ChildIndex(logB uint) int {
 
 // TryRequest returns true exactly once per node: the first caller wins and
 // should issue the remote request (the paper's atomic requested flag).
+//
+//paratreet:hotpath
 func (n *Node[D]) TryRequest() bool { return n.requested.CompareAndSwap(false, true) }
 
 // Requested reports whether a request has already been issued for the node.

@@ -28,6 +28,8 @@ var sealedSentinel = &waiterNode{}
 // Add pushes a continuation; it returns false if the list is already
 // sealed, in which case fn has NOT been registered and the caller must
 // proceed itself.
+//
+//paratreet:hotpath
 func (w *WaiterList) Add(fn func()) bool {
 	node := &waiterNode{fn: fn}
 	for {

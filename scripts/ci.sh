@@ -1,6 +1,7 @@
 #!/bin/sh
-# CI gate: build, vet, full tests, then the race-mode pass in short mode.
-# Run from the repository root (or via `make ci`).
+# CI gate: build, vet, the repo's own static analyzers, full tests, then
+# the race-mode pass in short mode. Run from the repository root (or via
+# `make ci`). Every stage is fatal: a vet or lint finding fails the gate.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -10,6 +11,9 @@ go build ./...
 
 echo "==> go vet"
 go vet ./...
+
+echo "==> paratreet-lint"
+go run ./cmd/paratreet-lint ./...
 
 echo "==> go test"
 go test ./...
