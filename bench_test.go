@@ -661,36 +661,55 @@ func (openAllVisitor) Leaf(*paratreet.Node[gravity.CentroidData], *paratreet.Buc
 // 271/244 ms/op after; dual-tree gravity 355/342 ms/op before vs
 // 336/332 ms/op after — a consistent 3-15% end-to-end improvement with
 // identical requests/iter and MB/iter traffic.
+// Each style also runs with metrics counters and with counters+tracing:
+// the trace variant's regression budget is 5% over metrics-only — span
+// emission reuses the clock reads the runtime already takes at task
+// granularity, so the marginal cost is one ring append per task/message/
+// fetch, not per frame.
 func BenchmarkEngineOverhead(b *testing.B) {
+	variants := []struct {
+		name string
+		reg  func() *paratreet.MetricsRegistry
+	}{
+		{"bare", func() *paratreet.MetricsRegistry { return nil }},
+		{"metrics", func() *paratreet.MetricsRegistry {
+			return paratreet.NewMetricsRegistry(paratreet.MetricsOptions{})
+		}},
+		{"metrics+trace", func() *paratreet.MetricsRegistry {
+			return paratreet.NewMetricsRegistry(paratreet.MetricsOptions{TraceCapacity: 1 << 16})
+		}},
+	}
 	for _, style := range []paratreet.TraversalStyle{paratreet.StyleTransposed, paratreet.StylePerBucket} {
-		b.Run(style.String(), func(b *testing.B) {
-			ps := particle.NewUniform(benchN, 42, benchBox())
-			sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
-				Procs: benchProcs, WorkersPerProc: benchWPP,
-				Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
-				BucketSize: benchBucket, Style: style,
-			}, gravity.Accumulator{}, gravity.Codec{}, ps)
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer sim.Close()
-			driver := paratreet.DriverFuncs[gravity.CentroidData]{
-				TraversalFn: func(s *paratreet.Simulation[gravity.CentroidData], iter int) {
-					paratreet.StartDown(s, func(p *paratreet.Partition[gravity.CentroidData]) openAllVisitor {
-						return openAllVisitor{}
-					})
-				},
-			}
-			if err := sim.Run(1, driver); err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
+		for _, v := range variants {
+			b.Run(style.String()+"/"+v.name, func(b *testing.B) {
+				ps := particle.NewUniform(benchN, 42, benchBox())
+				sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
+					Procs: benchProcs, WorkersPerProc: benchWPP,
+					Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
+					BucketSize: benchBucket, Style: style, Metrics: v.reg(),
+				}, gravity.Accumulator{}, gravity.Codec{}, ps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sim.Close()
+				driver := paratreet.DriverFuncs[gravity.CentroidData]{
+					TraversalFn: func(s *paratreet.Simulation[gravity.CentroidData], iter int) {
+						paratreet.StartDown(s, func(p *paratreet.Partition[gravity.CentroidData]) openAllVisitor {
+							return openAllVisitor{}
+						})
+					},
+				}
 				if err := sim.Run(1, driver); err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sim.Run(1, driver); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

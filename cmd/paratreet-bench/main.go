@@ -5,9 +5,15 @@
 // Usage:
 //
 //	paratreet-bench [flags] <experiment>
+//	paratreet-bench <experiment> [flags]
 //
 // Experiments: fig3 fig9 fig10 fig11 fig12 fig13 table1 table2 table3 lb
-// fetchdepth style all
+// fetchdepth sharedepth style knn all
+//
+// Observability: -metrics collects per-run snapshots, -trace N adds span
+// tracing, -trace-out exports a Chrome Trace Event file for Perfetto and
+// the paratreet-trace analyzer, and -http serves live pprof/expvar/
+// snapshot endpoints while experiments run.
 package main
 
 import (
@@ -20,7 +26,9 @@ import (
 	"strconv"
 	"strings"
 
+	"paratreet"
 	"paratreet/internal/experiments"
+	"paratreet/internal/trace"
 )
 
 func main() {
@@ -34,11 +42,23 @@ func main() {
 		useMetrics = flag.Bool("metrics", false, "collect observability snapshots and emit them as JSON")
 		metricsOut = flag.String("metrics-out", "-", "metrics JSON destination: - for stdout, or a file path")
 		traceCap   = flag.Int("trace", 0, "trace-span ring capacity per run (0 = tracing off; implies -metrics)")
+		traceOut   = flag.String("trace-out", "", "write spans as Chrome Trace Event JSON to this file (implies -trace 65536 when -trace is unset); spans are then omitted from the metrics JSON")
+		httpAddr   = flag.String("http", "", "serve live pprof/expvar introspection and /snapshot on this address, e.g. :6060 (implies -metrics)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>\n", os.Args[0])
-		fmt.Fprintln(os.Stderr, "experiments: fig3 fig9 fig10 fig11 fig12 fig13 table1 table2 table3 lb fetchdepth sharedepth style all")
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>  (the experiment may also come first)\n", os.Args[0])
+		fmt.Fprintln(os.Stderr, "experiments: fig3 fig9 fig10 fig11 fig12 fig13 table1 table2 table3 lb fetchdepth sharedepth style knn all")
 		flag.PrintDefaults()
+	}
+	// Go's flag package stops parsing at the first non-flag argument, so
+	// "paratreet-bench knn -quick" would silently ignore -quick. Accept
+	// the subcommand in front by rotating it behind the flags.
+	if len(os.Args) > 2 && !strings.HasPrefix(os.Args[1], "-") {
+		rotated := make([]string, 0, len(os.Args))
+		rotated = append(rotated, os.Args[0])
+		rotated = append(rotated, os.Args[2:]...)
+		rotated = append(rotated, os.Args[1])
+		os.Args = rotated
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -70,8 +90,14 @@ func main() {
 			opts.Workers = append(opts.Workers, v)
 		}
 	}
-	if *useMetrics || *traceCap > 0 {
+	if *traceOut != "" && *traceCap == 0 {
+		*traceCap = 65536
+	}
+	if *useMetrics || *traceCap > 0 || *httpAddr != "" {
 		opts.Metrics = &experiments.MetricsCollector{TraceCapacity: *traceCap}
+	}
+	if *httpAddr != "" {
+		startHTTP(*httpAddr, opts.Metrics)
 	}
 
 	name := flag.Arg(0)
@@ -87,7 +113,15 @@ func main() {
 	}
 
 	if opts.Metrics != nil {
-		if err := emitMetrics(os.Stdout, *metricsOut, opts.Metrics); err != nil {
+		snaps := opts.Metrics.Snapshots()
+		warnDroppedSpans(os.Stderr, snaps, *traceCap)
+		if *traceOut != "" {
+			if err := writeChromeTrace(*traceOut, snaps); err != nil {
+				fatal(err)
+			}
+			snaps = stripSpans(snaps)
+		}
+		if err := emitMetrics(os.Stdout, *metricsOut, snaps); err != nil {
 			fatal(err)
 		}
 	}
@@ -158,6 +192,8 @@ func run(w io.Writer, name string, opts experiments.Options, quick bool) error {
 		res, err = experiments.RunShareDepthAblation(opts, []int{0, 1, 2, 4})
 	case "style":
 		res, err = experiments.RunStyleComparison(opts)
+	case "knn":
+		res, err = experiments.RunKNN(opts)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
@@ -170,7 +206,7 @@ func run(w io.Writer, name string, opts experiments.Options, quick bool) error {
 
 // emitMetrics writes the collected snapshots as an indented JSON array to
 // stdout (dest "-") or to the named file.
-func emitMetrics(stdout io.Writer, dest string, c *experiments.MetricsCollector) error {
+func emitMetrics(stdout io.Writer, dest string, snaps []*paratreet.MetricsSnapshot) error {
 	w := stdout
 	if dest != "-" && dest != "" {
 		f, err := os.Create(dest)
@@ -180,13 +216,61 @@ func emitMetrics(stdout io.Writer, dest string, c *experiments.MetricsCollector)
 		defer f.Close()
 		w = f
 	}
-	return writeMetricsJSON(w, c)
+	return writeMetricsJSON(w, snaps)
 }
 
-func writeMetricsJSON(w io.Writer, c *experiments.MetricsCollector) error {
+func writeMetricsJSON(w io.Writer, snaps []*paratreet.MetricsSnapshot) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(c.Snapshots())
+	return enc.Encode(snaps)
+}
+
+// writeChromeTrace exports the snapshots' spans as a Chrome Trace Event
+// file for Perfetto / chrome://tracing / paratreet-trace.
+func writeChromeTrace(dest string, snaps []*paratreet.MetricsSnapshot) error {
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, snaps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// stripSpans shallow-copies the snapshots without their span lists, so
+// the metrics JSON does not duplicate a trace already written by
+// -trace-out (SpansDropped is kept for loss accounting).
+func stripSpans(snaps []*paratreet.MetricsSnapshot) []*paratreet.MetricsSnapshot {
+	out := make([]*paratreet.MetricsSnapshot, len(snaps))
+	for i, s := range snaps {
+		if s == nil {
+			continue
+		}
+		cp := *s
+		cp.Spans = nil
+		out[i] = &cp
+	}
+	return out
+}
+
+// warnDroppedSpans reports trace-ring overflow on stderr: a wrapped ring
+// silently truncates the timeline's beginning, which would otherwise
+// masquerade as a short run in the analyzer.
+func warnDroppedSpans(w io.Writer, snaps []*paratreet.MetricsSnapshot, traceCap int) {
+	var dropped, total int64
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		dropped += s.SpansDropped
+		total += s.SpansDropped + int64(len(s.Spans))
+	}
+	if dropped > 0 {
+		fmt.Fprintf(w, "paratreet-bench: trace ring dropped %d of %d spans (%.1f%%); raise -trace above %d\n",
+			dropped, total, 100*float64(dropped)/float64(total), traceCap)
+	}
 }
 
 // repoRoot finds the module root by walking up from the working directory

@@ -3,11 +3,18 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"paratreet"
 	"paratreet/internal/experiments"
+	"paratreet/internal/metrics"
+	"paratreet/internal/trace"
 )
 
 // TestMetricsEmission is the end-to-end acceptance test for the --metrics
@@ -30,7 +37,7 @@ func TestMetricsEmission(t *testing.T) {
 	}
 
 	var jbuf bytes.Buffer
-	if err := writeMetricsJSON(&jbuf, opts.Metrics); err != nil {
+	if err := writeMetricsJSON(&jbuf, opts.Metrics.Snapshots()); err != nil {
 		t.Fatal(err)
 	}
 	var snaps []*paratreet.MetricsSnapshot
@@ -77,6 +84,135 @@ func TestMetricsEmission(t *testing.T) {
 	if want := 3 * len(opts.Workers); len(snaps) != want {
 		t.Errorf("collected %d snapshots, want %d (3 policies x %d worker counts)",
 			len(snaps), want, len(opts.Workers))
+	}
+}
+
+// TestKNNTracePipeline is the end-to-end acceptance test for the
+// timeline path: run the knn experiment with tracing, export the Chrome
+// trace exactly as -trace-out does, and feed it to the analyzer.
+func TestKNNTracePipeline(t *testing.T) {
+	opts := experiments.Quick()
+	opts.N = 3000
+	opts.Iters = 1
+	opts.Workers = []int{4}
+	opts.Metrics = &experiments.MetricsCollector{TraceCapacity: 65536}
+
+	var out bytes.Buffer
+	if err := run(&out, "knn", opts, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kNN SPH density") {
+		t.Errorf("experiment text output missing: %q", out.String())
+	}
+	snaps := opts.Metrics.Snapshots()
+	if len(snaps) != 1 || !strings.HasPrefix(snaps[0].Label, "knn/w") {
+		t.Fatalf("snapshots = %d with label %q, want 1 labeled knn/w4", len(snaps), snaps[0].Label)
+	}
+	if len(snaps[0].Spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := writeChromeTrace(path, snaps); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadChrome(f)
+	if err != nil {
+		t.Fatalf("exported trace does not load: %v", err)
+	}
+	var report bytes.Buffer
+	if err := trace.WriteReport(&report, tr, trace.ReportOptions{}); err != nil {
+		t.Fatalf("analyzer rejected exported trace: %v", err)
+	}
+	for _, section := range []string{"== gantt ==", "== phases ==", "== fetch rtt ==", "== critical path =="} {
+		if !strings.Contains(report.String(), section) {
+			t.Errorf("report missing %s", section)
+		}
+	}
+
+	// The metrics JSON written alongside a -trace-out must not duplicate
+	// the span list.
+	stripped := stripSpans(snaps)
+	if len(stripped[0].Spans) != 0 {
+		t.Error("stripSpans left spans in the metrics snapshot")
+	}
+	if stripped[0].Counter("cache.hits") != snaps[0].Counter("cache.hits") {
+		t.Error("stripSpans dropped counters")
+	}
+	if len(snaps[0].Spans) == 0 {
+		t.Error("stripSpans mutated the original snapshot")
+	}
+}
+
+// TestWarnDroppedSpans checks the overflow warning and its quiet path.
+func TestWarnDroppedSpans(t *testing.T) {
+	var buf bytes.Buffer
+	snaps := []*paratreet.MetricsSnapshot{
+		{Spans: make([]metrics.Span, 75), SpansDropped: 25},
+	}
+	warnDroppedSpans(&buf, snaps, 75)
+	out := buf.String()
+	if !strings.Contains(out, "dropped 25 of 100 spans (25.0%)") || !strings.Contains(out, "raise -trace") {
+		t.Fatalf("warning wrong: %q", out)
+	}
+	buf.Reset()
+	warnDroppedSpans(&buf, []*paratreet.MetricsSnapshot{{Spans: make([]metrics.Span, 5)}}, 8)
+	if buf.Len() != 0 {
+		t.Fatalf("warning emitted without drops: %q", buf.String())
+	}
+}
+
+// TestHTTPIntrospection exercises the -http surface: /snapshot serves
+// the live registry's JSON, /debug/vars carries the expvar counters, and
+// /debug/pprof/ responds.
+func TestHTTPIntrospection(t *testing.T) {
+	c := &experiments.MetricsCollector{TraceCapacity: 16}
+	// Register the handlers; the listener itself binds an ephemeral port
+	// we never use — requests go through the test server below.
+	startHTTP("127.0.0.1:0", c)
+	srv := httptest.NewServer(http.DefaultServeMux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get("/snapshot"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/snapshot before any run: %d, want 503", code)
+	}
+
+	// Simulate a run starting: the collector hands out its registry and
+	// the workload bumps a counter.
+	c.StartRun().Counter("cache.hits").Inc(0)
+
+	code, body := get("/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot: %d, want 200", code)
+	}
+	var snap paratreet.MetricsSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot is not JSON: %v\n%s", err, body)
+	}
+	if snap.Counter("cache.hits") != 1 {
+		t.Fatalf("/snapshot counters = %+v, want cache.hits 1", snap.Counters)
+	}
+
+	if code, body := get("/debug/vars"); code != http.StatusOK || !strings.Contains(body, `"paratreet"`) {
+		t.Fatalf("/debug/vars: %d, paratreet var present=%v", code, strings.Contains(body, `"paratreet"`))
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: %d, want 200", code)
 	}
 }
 

@@ -1,0 +1,90 @@
+// Command paratreet-trace analyzes Chrome Trace Event Format JSON
+// produced by paratreet-bench -trace-out (or by trace.WriteChrome):
+// Projections-style timeline reports in the terminal, no browser needed.
+//
+// Usage:
+//
+//	paratreet-trace [flags] <command> <trace.json>
+//
+// Commands:
+//
+//	report    all sections (summary, gantt, phases, spans, rtt, critpath)
+//	gantt     per-worker utilization timeline
+//	phases    per-phase totals and load imbalance (max/mean)
+//	spans     top-k longest spans
+//	rtt       fetch round-trip attribution
+//	critpath  critical-path estimate through the event DAG
+//	validate  parse and sanity-check the trace, print nothing on success
+//
+// The exit status is nonzero for malformed, empty, or invalid traces, so
+// CI can gate on trace health.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"paratreet/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"usage: paratreet-trace [flags] <report|gantt|phases|spans|rtt|critpath|validate> <trace.json>\n")
+	flag.PrintDefaults()
+}
+
+func main() {
+	topK := flag.Int("k", 10, "top-k spans to list")
+	width := flag.Int("width", 64, "gantt chart width in columns")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, path := flag.Arg(0), flag.Arg(1)
+	if err := run(os.Stdout, cmd, path, trace.ReportOptions{TopK: *topK, Width: *width}); err != nil {
+		fmt.Fprintf(os.Stderr, "paratreet-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, cmd, path string, opts trace.ReportOptions) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t, err := trace.ReadChrome(f)
+	if err != nil {
+		return err
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	switch cmd {
+	case "report":
+		return trace.WriteReport(w, t, opts)
+	case "gantt":
+		t.AttributeWorkers()
+		return trace.WriteGantt(w, t, opts.Width)
+	case "phases":
+		t.AttributeWorkers()
+		return trace.WritePhases(w, t)
+	case "spans":
+		t.AttributeWorkers()
+		return trace.WriteTopSpans(w, t, opts.TopK)
+	case "rtt":
+		t.AttributeWorkers()
+		return trace.WriteFetchRTT(w, t)
+	case "critpath":
+		t.AttributeWorkers()
+		return trace.WriteCriticalPath(w, t)
+	case "validate":
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paratreet/internal/metrics"
+	"paratreet/internal/trace"
+)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	snaps := []*metrics.Snapshot{{
+		Label: "fixture",
+		Spans: []metrics.Span{
+			{Name: "task", Kind: metrics.EvTask, Proc: 0, Worker: 0, StartNs: 0, DurNs: 5000},
+			{Name: "fetch", Kind: metrics.EvFetch, Proc: 0, Worker: -1, Flow: 1, StartNs: 1000, DurNs: 0},
+			{Name: "fill", Kind: metrics.EvFill, Proc: 0, Worker: -1, Flow: 1, StartNs: 3000, DurNs: 500},
+			{Name: "local-traversal", Kind: metrics.EvPhase, Proc: 0, Worker: -1, StartNs: 0, DurNs: 5000},
+		},
+	}}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteChrome(f, snaps); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCommands(t *testing.T) {
+	path := writeFixture(t)
+	opts := trace.ReportOptions{TopK: 5, Width: 32}
+	wants := map[string]string{
+		"report":   "== critical path ==",
+		"gantt":    "== gantt ==",
+		"phases":   "local-traversal",
+		"spans":    "== top 4 spans ==", // k clamps to the event count
+		"rtt":      "pairs 1",
+		"critpath": "== critical path ==",
+		"validate": "",
+	}
+	for cmd, want := range wants {
+		var buf bytes.Buffer
+		if err := run(&buf, cmd, path, opts); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("%s output missing %q:\n%s", cmd, want, buf.String())
+		}
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	opts := trace.ReportOptions{}
+	if err := run(&buf, "report", filepath.Join(t.TempDir(), "missing.json"), opts); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, "report", bad, opts); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"traceEvents":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, "validate", empty, opts); err == nil {
+		t.Fatal("empty trace validated")
+	}
+	good := writeFixture(t)
+	if err := run(&buf, "frobnicate", good, opts); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}

@@ -40,6 +40,26 @@ func TestRepoIsLintClean(t *testing.T) {
 		t.Fatal("loader found no packages")
 	}
 
+	// The sweep must actually cover the observability surfaces: the
+	// tracer's emit paths and the trace exporter/analyzer carry hotpath/
+	// coldpath annotations whose enforcement this test is the proof of.
+	covered := map[string]bool{}
+	for _, p := range pkgs {
+		covered[p.Path] = true
+	}
+	for _, want := range []string{
+		"paratreet/internal/metrics",
+		"paratreet/internal/trace",
+		"paratreet/internal/rt",
+		"paratreet/internal/cache",
+		"paratreet/cmd/paratreet-trace",
+		"paratreet/cmd/paratreet-bench",
+	} {
+		if !covered[want] {
+			t.Errorf("lint sweep missing package %s", want)
+		}
+	}
+
 	diags, err := analysis.Run(pkgs, analysis.Analyzers())
 	if err != nil {
 		t.Fatal(err)

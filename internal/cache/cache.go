@@ -110,7 +110,9 @@ type Cache[D any] struct {
 }
 
 // cacheMetrics holds the cache's observability handles, resolved once at
-// construction; all-nil (enabled=false) when the layer is off.
+// construction; all-nil (enabled=false) when the layer is off. tracer is
+// nil when the registry does not trace — the fetch/fill flow events then
+// cost one nil check inside Emit.
 type cacheMetrics struct {
 	enabled  bool
 	fetches  *metrics.Counter
@@ -118,35 +120,43 @@ type cacheMetrics struct {
 	inserts  *metrics.Counter
 	fetchRTT *metrics.Histogram
 	insertNs *metrics.Histogram
-	// reqAt maps in-flight (key, view) to the request issue time, for the
-	// fetch round-trip histogram. A plain map under its own mutex: the
-	// previous sync.Map had to be "cleared" in Reset by assigning a fresh
-	// sync.Map over the old one, which copies the internal mutex and races
-	// with concurrent Store/LoadAndDelete calls.
+	tracer   *metrics.Tracer
+	// reqAt maps in-flight (key, view) to the request issue time and trace
+	// flow id, for the fetch round-trip histogram and the fetch→fill flow
+	// arrow. A plain map under its own mutex: the previous sync.Map had to
+	// be "cleared" in Reset by assigning a fresh sync.Map over the old one,
+	// which copies the internal mutex and races with concurrent
+	// Store/LoadAndDelete calls.
 	reqMu sync.Mutex
-	reqAt map[reqID]time.Time // guarded by reqMu
+	reqAt map[reqID]reqInfo // guarded by reqMu
 }
 
-// noteRequest records the issue time of an in-flight request. The map is
-// allocated lazily so the metrics-off path never touches it.
-func (m *cacheMetrics) noteRequest(id reqID, at time.Time) {
+// reqInfo is what the metrics layer remembers about an in-flight request.
+type reqInfo struct {
+	at   time.Time
+	flow uint64
+}
+
+// noteRequest records the issue time and flow id of an in-flight request.
+// The map is allocated lazily so the metrics-off path never touches it.
+func (m *cacheMetrics) noteRequest(id reqID, info reqInfo) {
 	m.reqMu.Lock()
 	if m.reqAt == nil {
-		m.reqAt = make(map[reqID]time.Time)
+		m.reqAt = make(map[reqID]reqInfo)
 	}
-	m.reqAt[id] = at
+	m.reqAt[id] = info
 	m.reqMu.Unlock()
 }
 
-// takeRequest removes and returns the issue time recorded for id.
-func (m *cacheMetrics) takeRequest(id reqID) (time.Time, bool) {
+// takeRequest removes and returns the record for id.
+func (m *cacheMetrics) takeRequest(id reqID) (reqInfo, bool) {
 	m.reqMu.Lock()
-	at, ok := m.reqAt[id]
+	info, ok := m.reqAt[id]
 	if ok {
 		delete(m.reqAt, id)
 	}
 	m.reqMu.Unlock()
-	return at, ok
+	return info, ok
 }
 
 // resetRequests drops all in-flight timestamps.
@@ -191,6 +201,7 @@ func New[D any](proc *rt.Proc, policy Policy, t tree.Type, codec tree.DataCodec[
 		c.mx.inserts = reg.Counter(metrics.CCacheInserts)
 		c.mx.fetchRTT = reg.Histogram(metrics.HCacheFetchRTT)
 		c.mx.insertNs = reg.Histogram(metrics.HCacheInsert)
+		c.mx.tracer = reg.Tracer()
 	}
 	return c
 }
@@ -276,7 +287,10 @@ func (c *Cache[D]) Request(viewID int, n *tree.Node[D], resume func()) bool {
 		c.proc.Stats().NodeRequests.Add(1)
 		if c.mx.enabled {
 			c.mx.fetches.Inc(c.proc.Rank())
-			c.mx.noteRequest(reqID{n.Key, viewID}, time.Now())
+			now := time.Now()
+			flow := c.mx.tracer.NextFlow()
+			c.mx.tracer.Emit(metrics.EvFetch, "fetch", c.proc.Rank(), -1, flow, now, 0)
+			c.mx.noteRequest(reqID{n.Key, viewID}, reqInfo{at: now, flow: flow})
 		}
 		c.proc.Send(int(n.Owner), RequestMsg{Key: n.Key, Requester: c.proc.Rank(), View: viewID}, requestMsgBytes)
 	} else {
@@ -313,13 +327,17 @@ func (c *Cache[D]) HandleFill(msg FillMsg) {
 	insert := func() {
 		start := time.Now()
 		c.insert(msg)
+		dur := time.Since(start)
 		c.proc.PhaseSince(rt.PhaseCacheInsert, start)
 		if c.mx.enabled {
 			c.mx.inserts.Inc(c.proc.Rank())
-			c.mx.insertNs.Observe(int64(time.Since(start)))
-			if at, ok := c.mx.takeRequest(reqID{msg.Key, msg.View}); ok {
-				c.mx.fetchRTT.Observe(int64(time.Since(at)))
+			c.mx.insertNs.Observe(int64(dur))
+			var flow uint64
+			if info, ok := c.mx.takeRequest(reqID{msg.Key, msg.View}); ok {
+				c.mx.fetchRTT.Observe(int64(time.Since(info.at)))
+				flow = info.flow
 			}
+			c.mx.tracer.Emit(metrics.EvFill, "fill", c.proc.Rank(), -1, flow, start, dur)
 		}
 	}
 	switch c.policy {

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paratreet"
@@ -53,6 +54,10 @@ type MetricsCollector struct {
 
 	mu    sync.Mutex
 	snaps []*paratreet.MetricsSnapshot
+
+	// live is the registry of the most recently started run, for the
+	// -http introspection endpoints to snapshot mid-run.
+	live atomic.Pointer[paratreet.MetricsRegistry]
 }
 
 // registry returns a fresh registry for one simulation run (nil when the
@@ -61,7 +66,25 @@ func (c *MetricsCollector) registry() *paratreet.MetricsRegistry {
 	if c == nil {
 		return nil
 	}
-	return paratreet.NewMetricsRegistry(paratreet.MetricsOptions{TraceCapacity: c.TraceCapacity})
+	reg := paratreet.NewMetricsRegistry(paratreet.MetricsOptions{TraceCapacity: c.TraceCapacity})
+	c.live.Store(reg)
+	return reg
+}
+
+// StartRun returns a fresh registry for one simulation run and makes it
+// the collector's live registry. The experiment runners call this
+// internally; external drivers wiring their own Simulation use it to get
+// the same -http introspection behavior.
+func (c *MetricsCollector) StartRun() *paratreet.MetricsRegistry { return c.registry() }
+
+// Live returns the registry of the most recently started run (nil before
+// the first run or on a nil collector). It is safe to snapshot
+// concurrently with the run it observes.
+func (c *MetricsCollector) Live() *paratreet.MetricsRegistry {
+	if c == nil {
+		return nil
+	}
+	return c.live.Load()
 }
 
 // collect stores one labeled snapshot; no-op on nil collector/snapshot.
@@ -274,7 +297,7 @@ func RunFig9(opts Options) (*Result, error) {
 		Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
 		BucketSize: 16,
 		Latency:    20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
-		Metrics:    opts.Metrics.registry(),
+		Metrics: opts.Metrics.registry(),
 	}, gravity.Accumulator{}, gravity.Codec{}, ps)
 	if err != nil {
 		return nil, err
@@ -456,6 +479,68 @@ func RunFig11(opts Options) (*Result, error) {
 	res.Notes = append(res.Notes,
 		"paper: ParaTreeT ~10x faster at scale; the kNN algorithm avoids repeated synchronized ball-search rounds",
 		"G2-rounds synchronized traversal rounds per iteration and the message columns carry the latency cost virtual time omits")
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunKNN runs the ParaTreeT arm of Fig 11 — one up-and-down
+// k-nearest-neighbors SPH density traversal on a cosmological volume —
+// at the sweep's largest worker count. It is the standard workload for
+// timeline capture (-trace/-trace-out): the remote-neighbor traffic of
+// the clustered dataset exercises every event kind the tracer records
+// (tasks, fetch/fill flows, park/resume, message arrows).
+func RunKNN(opts Options) (*Result, error) {
+	start := time.Now()
+	w := opts.Workers[len(opts.Workers)-1]
+	procs, wpp := opts.procsFor(w)
+	par := sph.Params{K: 24, Gamma: 5.0 / 3.0, U: 1}
+	ps := particle.NewCosmological(opts.N, opts.Seed, vec.UnitBox())
+	sim, err := paratreet.NewSimulation[knn.Data](paratreet.Config{
+		Procs: procs, WorkersPerProc: wpp,
+		Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC, BucketSize: 16,
+		Latency: 20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
+		Metrics: opts.Metrics.registry(),
+	}, knn.Accumulator{}, knn.Codec{}, ps)
+	if err != nil {
+		return nil, err
+	}
+	defer sim.Close()
+	driver := paratreet.DriverFuncs[knn.Data]{
+		TraversalFn: func(s *paratreet.Simulation[knn.Data], iter int) {
+			for _, p := range s.Partitions() {
+				knn.Attach(p.Buckets(), par.K)
+			}
+			paratreet.StartUpAndDown(s, func(p *paratreet.Partition[knn.Data]) knn.Visitor {
+				return knn.Visitor{K: par.K, ExcludeSelf: true}
+			})
+		},
+		PostTraversalFn: func(s *paratreet.Simulation[knn.Data], iter int) {
+			s.ForEachBucket(func(_ *paratreet.Partition[knn.Data], b *paratreet.Bucket) {
+				st := b.State.(*knn.State)
+				for i := range b.Particles {
+					sph.DensityFromNeighbors(&b.Particles[i], st.Neighbors(i))
+					sph.Pressure(&b.Particles[i], par)
+				}
+			})
+		},
+	}
+	virtual, wall, err := timeIterations2(sim, driver, opts.Iters)
+	if err != nil {
+		return nil, err
+	}
+	opts.Metrics.collect(fmt.Sprintf("knn/w%d", w), sim.MetricsSnapshot())
+	res := &Result{
+		Title:  fmt.Sprintf("kNN SPH density, cosmological volume, %d workers", w),
+		XLabel: "workers",
+		Series: []string{"virtual-s", "wall-s", "msgs"},
+		Rows: []Row{{X: w, Values: map[string]float64{
+			"virtual-s": virtual.Seconds(),
+			"wall-s":    wall.Seconds(),
+			"msgs":      float64(sim.Stats().MessagesSent) / float64(opts.Iters),
+		}}},
+	}
+	res.Notes = append(res.Notes,
+		"single-cell run intended for timeline capture; pair with -trace/-trace-out and paratreet-trace")
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

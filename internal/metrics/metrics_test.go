@@ -72,7 +72,10 @@ func TestNilDisabled(t *testing.T) {
 		t.Fatal("nil histogram recorded")
 	}
 	tr := reg.Tracer()
-	tr.Emit("x", 0, 0, time.Now(), time.Millisecond)
+	tr.Emit(EvTask, "x", 0, 0, 0, time.Now(), time.Millisecond)
+	if tr.NextFlow() != 0 {
+		t.Fatal("nil tracer allocated a flow id")
+	}
 	if tr.Spans() != nil || tr.Total() != 0 || tr.Dropped() != 0 {
 		t.Fatal("nil tracer recorded")
 	}
@@ -155,7 +158,7 @@ func TestTracerRing(t *testing.T) {
 	}
 	epoch := tr.epoch
 	for i := 0; i < 6; i++ {
-		tr.Emit("s", 0, i, epoch.Add(time.Duration(i)*time.Millisecond), time.Millisecond)
+		tr.Emit(EvTask, "s", 0, i, 0, epoch.Add(time.Duration(i)*time.Millisecond), time.Millisecond)
 	}
 	spans := tr.Spans()
 	if len(spans) != 4 {
@@ -188,7 +191,7 @@ func TestRegistrySnapshotAndReset(t *testing.T) {
 	reg.Counter("a").Add(0, 7)
 	reg.Counter("b").Inc(1)
 	reg.Histogram("h").Observe(100)
-	reg.Tracer().Emit("span", 1, 2, time.Now(), time.Microsecond)
+	reg.Tracer().Emit(EvFill, "span", 1, 2, 3, time.Now(), time.Microsecond)
 
 	s := reg.Snapshot()
 	if s.Counter("a") != 7 || s.Counter("b") != 1 || s.Counter("absent") != 0 {
@@ -197,7 +200,8 @@ func TestRegistrySnapshotAndReset(t *testing.T) {
 	if s.Histograms["h"].Count != 1 {
 		t.Fatalf("histogram missing: %+v", s.Histograms)
 	}
-	if len(s.Spans) != 1 || s.Spans[0].Name != "span" {
+	if len(s.Spans) != 1 || s.Spans[0].Name != "span" ||
+		s.Spans[0].Kind != EvFill || s.Spans[0].Flow != 3 {
 		t.Fatalf("spans wrong: %+v", s.Spans)
 	}
 
@@ -226,7 +230,7 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 		PhasesNs: map[string]int64{"idle": 123},
 		Workers:  []WorkerUtil{{Proc: 0, Worker: 1, BusyNs: 75, IdleNs: 25, Tasks: 4}},
 		Comm:     []CommEdge{{From: 0, To: 1, Messages: 2, Bytes: 100}},
-		Spans:    []Span{{Name: "x", Proc: 0, Worker: 1, StartNs: 1, DurNs: 2}},
+		Spans:    []Span{{Name: "x", Kind: EvFetch, Proc: 0, Worker: 1, Flow: 9, StartNs: 1, DurNs: 2}},
 	}
 	var buf bytes.Buffer
 	if err := s.WriteJSON(&buf); err != nil {
@@ -238,6 +242,7 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	}
 	if back.Counter("cache.hits") != 5 || back.Workers[0].Tasks != 4 ||
 		back.Comm[0].Bytes != 100 || back.Spans[0].DurNs != 2 ||
+		back.Spans[0].Kind != EvFetch || back.Spans[0].Flow != 9 ||
 		back.PhasesNs["idle"] != 123 || back.Histograms["h"].Sum != 10 {
 		t.Fatalf("round-trip mismatch: %+v", back)
 	}

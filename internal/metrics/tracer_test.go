@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerConcurrent hammers Emit from many goroutines while readers
+// call Spans/Total/Dropped and Reset races in — under -race this is the
+// tracer's thread-safety proof, and the final accounting must balance.
+func TestTracerConcurrent(t *testing.T) {
+	reg := NewRegistry(Options{TraceCapacity: 128})
+	tr := reg.Tracer()
+	const writers = 8
+	const perW = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				flow := tr.NextFlow()
+				tr.Emit(EvTask, "t", g, g, flow, tr.epoch.Add(time.Duration(i)), time.Microsecond)
+			}
+		}(g)
+	}
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			spans := tr.Spans()
+			if len(spans) > 128 {
+				t.Errorf("Spans() returned %d > capacity 128", len(spans))
+				return
+			}
+			_ = tr.Total()
+			_ = tr.Dropped()
+			reg.Reset()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	// After the dust settles, emit a known series and verify accounting.
+	reg.Reset()
+	tr.Emit(EvFetch, "f", 0, 0, tr.NextFlow(), tr.epoch, 0)
+	if tr.Total() != 1 || tr.Dropped() != 0 || len(tr.Spans()) != 1 {
+		t.Fatalf("post-reset accounting: total=%d dropped=%d spans=%d",
+			tr.Total(), tr.Dropped(), len(tr.Spans()))
+	}
+}
+
+// TestTracerWrapOrdering fills the ring several times over and checks
+// the survivors are exactly the newest spans in oldest-first order, at
+// every wrap offset.
+func TestTracerWrapOrdering(t *testing.T) {
+	const capacity = 8
+	for emitted := 1; emitted <= 3*capacity+1; emitted++ {
+		reg := NewRegistry(Options{TraceCapacity: capacity})
+		tr := reg.Tracer()
+		for i := 0; i < emitted; i++ {
+			tr.Emit(EvTask, "t", 0, i, 0, tr.epoch.Add(time.Duration(i)*time.Millisecond), time.Millisecond)
+		}
+		spans := tr.Spans()
+		wantLen := emitted
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if len(spans) != wantLen {
+			t.Fatalf("emitted %d: len = %d, want %d", emitted, len(spans), wantLen)
+		}
+		first := emitted - wantLen
+		for i, s := range spans {
+			if s.Worker != first+i {
+				t.Fatalf("emitted %d: span %d is worker %d, want %d (oldest-first)",
+					emitted, i, s.Worker, first+i)
+			}
+			if i > 0 && s.StartNs <= spans[i-1].StartNs {
+				t.Fatalf("emitted %d: spans out of time order at %d", emitted, i)
+			}
+		}
+		wantDropped := int64(emitted - wantLen)
+		if tr.Dropped() != wantDropped || tr.Total() != int64(emitted) {
+			t.Fatalf("emitted %d: total/dropped = %d/%d, want %d/%d",
+				emitted, tr.Total(), tr.Dropped(), emitted, wantDropped)
+		}
+	}
+}
+
+// TestNextFlowUnique checks concurrent flow-id allocation never repeats
+// or returns the "no flow" sentinel.
+func TestNextFlowUnique(t *testing.T) {
+	reg := NewRegistry(Options{TraceCapacity: 4})
+	tr := reg.Tracer()
+	const goroutines = 8
+	const perG = 1000
+	ids := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ids[g] = append(ids[g], tr.NextFlow())
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, goroutines*perG)
+	for _, chunk := range ids {
+		for _, id := range chunk {
+			if id == 0 {
+				t.Fatal("NextFlow returned the no-flow sentinel 0")
+			}
+			if seen[id] {
+				t.Fatalf("flow id %d allocated twice", id)
+			}
+			seen[id] = true
+		}
+	}
+}

@@ -158,9 +158,11 @@ func (s *StatsSnapshot) Add(o StatsSnapshot) {
 	s.Steals += o.Steals
 }
 
-// message is an in-flight inter-process message.
+// message is an in-flight inter-process message. flow is the trace flow id
+// linking the send instant to the receive dispatch (0 when tracing is off).
 type message struct {
 	from     int
+	flow     uint64
 	payload  any
 	arriveAt time.Time
 }
@@ -174,8 +176,10 @@ type Machine struct {
 	started bool
 	wg      sync.WaitGroup
 
-	// Observability (nil / empty when cfg.Metrics is nil).
+	// Observability (nil / empty when cfg.Metrics is nil; tracer is
+	// additionally nil when the registry does not trace).
 	reg      *metrics.Registry
+	tracer   *metrics.Tracer
 	commMsgs []cell // P*P proc-pair message counts
 	commByte []cell // P*P proc-pair byte counts
 	taskHist *metrics.Histogram
@@ -196,6 +200,7 @@ func NewMachine(cfg Config) *Machine {
 		m.commMsgs = make([]cell, cfg.Procs*cfg.Procs)
 		m.commByte = make([]cell, cfg.Procs*cfg.Procs)
 		m.taskHist = m.reg.Histogram(metrics.HRTTask)
+		m.tracer = m.reg.Tracer()
 	}
 	for r := 0; r < cfg.Procs; r++ {
 		m.procs = append(m.procs, newProc(m, r, cfg.WorkersPerProc))
@@ -239,13 +244,19 @@ func (m *Machine) Stop() {
 }
 
 // WaitQuiescence blocks until no tasks are queued or running and no
-// messages are in flight. Submit initial work before calling it.
+// messages are in flight. Submit initial work before calling it. When the
+// attached registry traces, the wait is recorded as a barrier span on the
+// machine track (proc -1); the clock reads happen only on that path.
 func (m *Machine) WaitQuiescence() {
-	for {
-		if m.pending.Load() == 0 {
-			return
-		}
+	var start time.Time
+	if m.tracer != nil {
+		start = time.Now()
+	}
+	for m.pending.Load() != 0 {
 		time.Sleep(10 * time.Microsecond)
+	}
+	if m.tracer != nil {
+		m.tracer.Emit(metrics.EvBarrier, "quiescence", -1, -1, 0, start, time.Since(start))
 	}
 }
 
@@ -444,14 +455,14 @@ func (p *Proc) AddPhase(ph Phase, d time.Duration) {
 }
 
 // PhaseSince accrues the time since start into phase ph and, when the
-// attached registry traces, records a span for it. Use it in place of the
-// AddPhase(ph, time.Since(start)) idiom so timed slices reach the trace.
+// attached registry traces, records a phase span for it. Use it in place
+// of the AddPhase(ph, time.Since(start)) idiom so timed slices reach the
+// trace. Phase spans carry worker -1; the trace analyzer re-attributes
+// them to workers by containment in the task span that executed them.
 func (p *Proc) PhaseSince(ph Phase, start time.Time) {
 	d := time.Since(start)
 	p.phases[ph].Add(int64(d))
-	if p.machine.reg != nil {
-		p.machine.reg.Tracer().Emit(ph.String(), p.rank, -1, start, d)
-	}
+	p.machine.tracer.Emit(metrics.EvPhase, ph.String(), p.rank, -1, 0, start, d)
 }
 
 // TimePhase runs fn, attributing its wall time to phase ph.
@@ -470,26 +481,36 @@ func (p *Proc) SetDispatcher(fn func(from int, payload any)) {
 
 // Send delivers payload to process `to`, accounting bytes for bandwidth
 // and statistics. Sending never blocks. Messages between a pair of
-// processes arrive in order.
+// processes arrive in order. When tracing, the post is recorded as a
+// send instant whose flow id the receiving dispatch repeats, giving the
+// timeline a send→recv arrow; the instant reuses the clock read Send
+// already takes for the arrival time.
 func (p *Proc) Send(to int, payload any, bytes int) {
 	if p.machine.commMsgs != nil {
 		i := p.rank*len(p.machine.procs) + to
 		p.machine.commMsgs[i].v.Add(1)
 		p.machine.commByte[i].v.Add(int64(bytes))
 	}
+	tr := p.machine.tracer
+	now := time.Now()
+	var flow uint64
+	if tr != nil {
+		flow = tr.NextFlow()
+		tr.Emit(metrics.EvMsgSend, "send", p.rank, -1, flow, now, 0)
+	}
 	if to == p.rank {
 		// Local "message": dispatch through the same path, zero latency.
 		p.machine.pending.Add(1)
-		p.enqueueMessage(message{from: p.rank, payload: payload, arriveAt: time.Now()})
+		p.enqueueMessage(message{from: p.rank, flow: flow, payload: payload, arriveAt: now})
 		return
 	}
 	cfg := p.machine.cfg
-	arrive := time.Now().Add(cfg.Latency + time.Duration(bytes)*cfg.PerByte)
+	arrive := now.Add(cfg.Latency + time.Duration(bytes)*cfg.PerByte)
 	p.stats.MessagesSent.Add(1)
 	p.stats.BytesSent.Add(int64(bytes))
 	dst := p.machine.procs[to]
 	p.machine.pending.Add(1)
-	dst.enqueueMessage(message{from: p.rank, payload: payload, arriveAt: arrive})
+	dst.enqueueMessage(message{from: p.rank, flow: flow, payload: payload, arriveAt: arrive})
 }
 
 func (p *Proc) enqueueMessage(msg message) {
@@ -572,7 +593,9 @@ func (p *Proc) commLoop(wg *sync.WaitGroup) {
 		if fn := p.dispatcher.Load(); fn != nil {
 			dispatchStart := time.Now()
 			(*fn)(msg.from, msg.payload)
-			p.commBusy.Add(int64(time.Since(dispatchStart)))
+			d := time.Since(dispatchStart)
+			p.commBusy.Add(int64(d))
+			p.machine.tracer.Emit(metrics.EvMsgRecv, "recv", p.rank, -1, msg.flow, dispatchStart, d)
 		}
 		p.machine.pending.Add(-1)
 	}
@@ -679,6 +702,10 @@ func (w *worker) next() func() {
 
 func (w *worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	// tracer is resolved once per worker lifetime; the per-task emits below
+	// reuse the clock reads the loop already takes for busy/idle accounting,
+	// so the tracing-off cost is one nil check per task or idle gap.
+	tr := w.proc.machine.tracer
 	idleSince := time.Time{}
 	sleep := time.Duration(0)
 	for !w.proc.machine.stop.Load() {
@@ -699,6 +726,7 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			d := time.Since(idleSince)
 			w.proc.AddPhase(PhaseIdle, d)
 			w.idle.Add(int64(d))
+			tr.Emit(metrics.EvIdle, "idle", w.proc.rank, w.id, 0, idleSince, d)
 			idleSince = time.Time{}
 		}
 		sleep = 0
@@ -708,6 +736,7 @@ func (w *worker) run(wg *sync.WaitGroup) {
 		w.busy.Add(int64(dur))
 		w.tasks.Add(1)
 		w.proc.machine.taskHist.Observe(int64(dur))
+		tr.Emit(metrics.EvTask, "task", w.proc.rank, w.id, 0, taskStart, dur)
 		w.proc.stats.TasksRun.Add(1)
 		w.proc.machine.pending.Add(-1)
 	}

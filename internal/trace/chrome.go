@@ -1,0 +1,261 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"paratreet/internal/metrics"
+)
+
+// Chrome Trace Event Format mapping. One process row per simulated proc
+// (plus one machine-level row for barriers), one thread row per worker
+// (tid 0 is the comm goroutine / unattributed track):
+//
+//	pid = run*1000 + proc + 1   (proc -1, machine level, maps to run*1000)
+//	tid = worker + 1            (worker -1 maps to tid 0)
+//
+// Durations become "X" complete events, instants become "i", and
+// fetch→fill / send→recv pairs become "s"/"f" flow arrows sharing a flow
+// id, so Perfetto draws the cause→effect arrows Projections-style.
+
+// pidBase spaces runs apart in the pid namespace.
+const pidBase = 1000
+
+// chromeEvent is one Trace Event Format record. Field declaration order
+// is the JSON emission order (encoding/json preserves it), which keeps
+// exports byte-stable for golden tests.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+func eventPid(run, proc int) int { return run*pidBase + proc + 1 }
+func eventTid(worker int) int    { return worker + 1 }
+func usec(ns int64) float64      { return float64(ns) / 1e3 }
+
+// WriteChrome exports the snapshots' spans as Chrome Trace Event Format
+// JSON. The output is deterministic for a given input: metadata rows
+// sorted by pid/tid, spans in recorded order, flow arrows sorted by flow
+// id.
+func WriteChrome(w io.Writer, snaps []*metrics.Snapshot) error {
+	return writeChromeTrace(w, FromSnapshots(snaps))
+}
+
+func writeChromeTrace(w io.Writer, t *Trace) error {
+	var events []chromeEvent
+
+	// Metadata: name every process and thread row that appears.
+	type tidKey struct{ pid, tid int }
+	pids := make(map[int]string)
+	tids := make(map[tidKey]string)
+	for _, e := range t.Events {
+		pid := eventPid(e.Run, e.Proc)
+		if _, ok := pids[pid]; !ok {
+			label := ""
+			if e.Run < len(t.Labels) && t.Labels[e.Run] != "" {
+				label = t.Labels[e.Run] + " "
+			}
+			if e.Proc < 0 {
+				pids[pid] = fmt.Sprintf("%smachine (run %d)", label, e.Run)
+			} else {
+				pids[pid] = fmt.Sprintf("%sproc %d (run %d)", label, e.Proc, e.Run)
+			}
+		}
+		tk := tidKey{pid, eventTid(e.Worker)}
+		if _, ok := tids[tk]; !ok {
+			if e.Worker < 0 {
+				tids[tk] = "comm"
+			} else {
+				tids[tk] = fmt.Sprintf("worker %d", e.Worker)
+			}
+		}
+	}
+	sortedPids := make([]int, 0, len(pids))
+	for pid := range pids {
+		sortedPids = append(sortedPids, pid)
+	}
+	sort.Ints(sortedPids)
+	for _, pid := range sortedPids {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": pids[pid]},
+		})
+	}
+	sortedTids := make([]tidKey, 0, len(tids))
+	for tk := range tids {
+		sortedTids = append(sortedTids, tk)
+	}
+	sort.Slice(sortedTids, func(a, b int) bool {
+		if sortedTids[a].pid != sortedTids[b].pid {
+			return sortedTids[a].pid < sortedTids[b].pid
+		}
+		return sortedTids[a].tid < sortedTids[b].tid
+	})
+	for _, tk := range sortedTids {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: tk.pid, Tid: tk.tid,
+			Args: map[string]any{"name": tids[tk]},
+		})
+	}
+
+	// Spans, in recorded order. Flow producers/consumers are collected
+	// for the arrow pass below.
+	type flowEnd struct {
+		ev  chromeEvent
+		set bool
+	}
+	type flowPair struct {
+		src, dst flowEnd
+	}
+	flows := make(map[uint64]*flowPair)
+	flowIDs := []uint64{}
+	for _, e := range t.Events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Kind.String(),
+			Ts:   usec(e.StartNs),
+			Pid:  eventPid(e.Run, e.Proc),
+			Tid:  eventTid(e.Worker),
+		}
+		if e.DurNs > 0 {
+			dur := usec(e.DurNs)
+			ce.Ph = "X"
+			ce.Dur = &dur
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		if e.Flow != 0 {
+			ce.Args = map[string]any{"flow": e.Flow}
+			fp := flows[e.Flow]
+			if fp == nil {
+				fp = &flowPair{}
+				flows[e.Flow] = fp
+				flowIDs = append(flowIDs, e.Flow)
+			}
+			switch e.Kind {
+			case metrics.EvFetch, metrics.EvMsgSend:
+				fp.src = flowEnd{ev: ce, set: true}
+			case metrics.EvFill, metrics.EvMsgRecv:
+				if !fp.dst.set {
+					fp.dst = flowEnd{ev: ce, set: true}
+				}
+			}
+		}
+		events = append(events, ce)
+	}
+
+	// Flow arrows for complete pairs, sorted by flow id.
+	sort.Slice(flowIDs, func(a, b int) bool { return flowIDs[a] < flowIDs[b] })
+	for _, id := range flowIDs {
+		fp := flows[id]
+		if !fp.src.set || !fp.dst.set {
+			continue
+		}
+		name := fp.src.ev.Cat + "->" + fp.dst.ev.Cat
+		events = append(events, chromeEvent{
+			Name: name, Cat: "flow", Ph: "s", Ts: fp.src.ev.Ts,
+			Pid: fp.src.ev.Pid, Tid: fp.src.ev.Tid,
+			ID: fmt.Sprintf("%d", id),
+		})
+		events = append(events, chromeEvent{
+			Name: name, Cat: "flow", Ph: "f", Ts: fp.dst.ev.Ts,
+			Pid: fp.dst.ev.Pid, Tid: fp.dst.ev.Tid,
+			ID: fmt.Sprintf("%d", id), BP: "e",
+		})
+	}
+
+	// One event per line: diffable, and still a single valid JSON object.
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadChrome parses Chrome Trace Event Format JSON produced by
+// WriteChrome back into a Trace. Metadata and flow-arrow records are
+// skipped (span records carry the flow id in args); records whose
+// category is not a known event kind are ignored, so traces annotated by
+// other tools still load.
+func ReadChrome(r io.Reader) (*Trace, error) {
+	var f chromeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: parsing chrome trace: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return nil, errors.New("trace: chrome trace has no events")
+	}
+	t := &Trace{}
+	maxRun := -1
+	for _, ce := range f.TraceEvents {
+		if ce.Ph != "X" && ce.Ph != "i" {
+			continue
+		}
+		kind, ok := metrics.KindFromString(ce.Cat)
+		if !ok {
+			continue
+		}
+		run := ce.Pid / pidBase
+		e := Event{Run: run}
+		e.Name = ce.Name
+		e.Kind = kind
+		e.Proc = ce.Pid%pidBase - 1
+		e.Worker = ce.Tid - 1
+		e.StartNs = int64(math.Round(ce.Ts * 1e3))
+		if ce.Dur != nil {
+			e.DurNs = int64(math.Round(*ce.Dur * 1e3))
+		}
+		if fv, ok := ce.Args["flow"]; ok {
+			if fl, ok := fv.(float64); ok {
+				e.Flow = uint64(fl)
+			}
+		}
+		if run > maxRun {
+			maxRun = run
+		}
+		t.Events = append(t.Events, e)
+	}
+	if len(t.Events) == 0 {
+		return nil, errors.New("trace: chrome trace has no span events")
+	}
+	t.Labels = make([]string, maxRun+1)
+	return t, nil
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"paratreet/internal/metrics"
+)
+
+func fixtureTrace() *Trace {
+	tr := FromSnapshots(fixtureSnapshots())
+	tr.AttributeWorkers()
+	return tr
+}
+
+// TestAttributeWorkers checks containment-based re-homing: events
+// emitted with worker -1 inside a task span adopt that task's worker,
+// while comm dispatches and barriers stay unattributed.
+func TestAttributeWorkers(t *testing.T) {
+	tr := fixtureTrace()
+	byKind := func(k metrics.EventKind) Event {
+		for _, e := range tr.Events {
+			if e.Kind == k {
+				return e
+			}
+		}
+		t.Fatalf("no %v event", k)
+		return Event{}
+	}
+	// fetch@2000 sits inside task p0w0 [1000,5000).
+	if e := byKind(metrics.EvFetch); e.Worker != 0 {
+		t.Fatalf("fetch attributed to worker %d, want 0", e.Worker)
+	}
+	if e := byKind(metrics.EvPark); e.Worker != 0 {
+		t.Fatalf("park attributed to worker %d, want 0", e.Worker)
+	}
+	// resume@7000 sits inside task p0w0 [7000,9000).
+	if e := byKind(metrics.EvResume); e.Worker != 0 {
+		t.Fatalf("resume attributed to worker %d, want 0", e.Worker)
+	}
+	// phase@1000 matches the task starting at the same instant.
+	if e := byKind(metrics.EvPhase); e.Worker != 0 {
+		t.Fatalf("phase attributed to worker %d, want 0", e.Worker)
+	}
+	// recv and barrier keep -1: they run off the worker pool.
+	if e := byKind(metrics.EvMsgRecv); e.Worker != -1 {
+		t.Fatalf("recv attributed to worker %d, want -1", e.Worker)
+	}
+	if e := byKind(metrics.EvBarrier); e.Worker != -1 {
+		t.Fatalf("barrier attributed to worker %d, want -1", e.Worker)
+	}
+	// fill@6500 is outside both p0w0 tasks ([1000,5000) and [7000,9000)):
+	// no containing task, stays -1.
+	if e := byKind(metrics.EvFill); e.Worker != -1 {
+		t.Fatalf("fill attributed to worker %d, want -1", e.Worker)
+	}
+}
+
+// TestWriteReportSections runs the full report on the fixture and checks
+// every section renders with its headline content.
+func TestWriteReportSections(t *testing.T) {
+	var buf bytes.Buffer
+	tr := FromSnapshots(fixtureSnapshots())
+	if err := WriteReport(&buf, tr, ReportOptions{TopK: 3, Width: 20}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== summary ==",
+		"== gantt ==",
+		"== phases ==",
+		"== top 3 spans ==",
+		"== fetch rtt ==",
+		"== critical path ==",
+		"local-traversal", // phase table row
+		"pairs 1",         // one fetch/fill pair
+		"barrier",         // longest span is the 9000ns quiescence
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Gantt: worker rows for p0w0 and p1w1, plus comm/machine tracks.
+	for _, row := range []string{"r0 p0  w0", "r0 p1  w1"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("gantt missing row %q:\n%s", row, out)
+		}
+	}
+}
+
+func TestWriteReportEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, &Trace{}, ReportOptions{}); err == nil {
+		t.Fatal("empty trace produced a report")
+	}
+}
+
+// TestFetchRTT checks flow pairing arithmetic: RTT spans fetch issue to
+// end of fill insert.
+func TestFetchRTT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFetchRTT(&buf, fixtureTrace()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// fetch@2000 -> fill end 7000: RTT 5000ns = 0.005 ms.
+	if !strings.Contains(out, "pairs 1") || !strings.Contains(out, "0.005") {
+		t.Fatalf("rtt output wrong:\n%s", out)
+	}
+}
+
+// TestCriticalPathFlow checks flow edges extend the chain across tracks:
+// a fill cannot start before its fetch's chain.
+func TestCriticalPathFlow(t *testing.T) {
+	// Two tracks. Track A: task 10ms then fetch (instant, flow 7).
+	// Track B: fill (flow 7) of 5ms, overlapping nothing on its track.
+	// Critical path must be 15ms (task -> fetch -> fill), not 10.
+	tr := &Trace{
+		Labels: []string{""},
+		Events: []Event{
+			{Span: metrics.Span{Name: "task", Kind: metrics.EvTask, Proc: 0, Worker: 0, StartNs: 0, DurNs: 10_000_000}},
+			{Span: metrics.Span{Name: "fetch", Kind: metrics.EvFetch, Proc: 0, Worker: 0, Flow: 7, StartNs: 10_000_000, DurNs: 0}},
+			{Span: metrics.Span{Name: "fill", Kind: metrics.EvFill, Proc: 1, Worker: 0, Flow: 7, StartNs: 12_000_000, DurNs: 5_000_000}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCriticalPath(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "length 15.000 ms over 3 events") {
+		t.Fatalf("critical path wrong:\n%s", out)
+	}
+}
+
+// TestCriticalPathTrackOrder checks program-order chaining on one track
+// picks the best predecessor, not just the latest.
+func TestCriticalPathTrackOrder(t *testing.T) {
+	// Track: long task [0,8), short task [9,10), then a task [20,21).
+	// Chain through the long task: 8 + 1 + 1 = 10 ms.
+	tr := &Trace{
+		Labels: []string{""},
+		Events: []Event{
+			{Span: metrics.Span{Name: "long", Kind: metrics.EvTask, Proc: 0, Worker: 0, StartNs: 0, DurNs: 8_000_000}},
+			{Span: metrics.Span{Name: "short", Kind: metrics.EvTask, Proc: 0, Worker: 0, StartNs: 9_000_000, DurNs: 1_000_000}},
+			{Span: metrics.Span{Name: "tail", Kind: metrics.EvTask, Proc: 0, Worker: 0, StartNs: 20_000_000, DurNs: 1_000_000}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCriticalPath(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "length 10.000 ms over 3 events") {
+		t.Fatalf("critical path wrong:\n%s", buf.String())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Trace{}).Validate(); err == nil {
+		t.Fatal("empty trace validated")
+	}
+	bad := &Trace{Events: []Event{{Span: metrics.Span{Kind: metrics.EvTask, DurNs: -1}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative duration validated")
+	}
+	if err := fixtureTrace().Validate(); err != nil {
+		t.Fatalf("fixture failed validation: %v", err)
+	}
+}

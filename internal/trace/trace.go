@@ -1,0 +1,170 @@
+// Package trace converts recorded metrics spans into Chrome Trace Event
+// Format JSON (loadable in Perfetto / chrome://tracing) and analyzes
+// traces offline: utilization Gantt, per-phase load imbalance, longest
+// spans, fetch round-trip attribution, and a critical-path estimate.
+//
+// The package is pure report/export code and runs entirely off the hot
+// path: traces are produced by the metrics.Tracer ring at task/message/
+// fetch granularity, snapshotted after a run, and analyzed here.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"paratreet/internal/metrics"
+)
+
+// Event is one recorded span plus the run (snapshot index) it came from,
+// so traces covering several runs — e.g. a worker sweep — keep their
+// timelines separate.
+type Event struct {
+	metrics.Span
+	Run int
+}
+
+// End returns the event's end time in nanoseconds since the epoch.
+func (e Event) End() int64 { return e.StartNs + e.DurNs }
+
+// Trace is a set of events from one or more runs, plus per-run labels.
+type Trace struct {
+	Events []Event
+	// Labels holds one label per run index (possibly empty strings).
+	Labels []string
+	// Dropped is the total span count lost to ring wrap-around across
+	// the source snapshots, for loss reporting in the analyzer.
+	Dropped int64
+}
+
+// Runs returns the number of runs in the trace.
+func (t *Trace) Runs() int { return len(t.Labels) }
+
+// FromSnapshots flattens the spans of each snapshot into one Trace; the
+// snapshot's position becomes the event's run index.
+func FromSnapshots(snaps []*metrics.Snapshot) *Trace {
+	t := &Trace{}
+	for run, s := range snaps {
+		if s == nil {
+			t.Labels = append(t.Labels, "")
+			continue
+		}
+		t.Labels = append(t.Labels, s.Label)
+		t.Dropped += s.SpansDropped
+		for _, sp := range s.Spans {
+			t.Events = append(t.Events, Event{Span: sp, Run: run})
+		}
+	}
+	return t
+}
+
+// Validate checks the trace is analyzable: nonempty with sane spans.
+func (t *Trace) Validate() error {
+	if t == nil || len(t.Events) == 0 {
+		return errors.New("trace: no events")
+	}
+	for i, e := range t.Events {
+		if e.DurNs < 0 {
+			return fmt.Errorf("trace: event %d (%s %q) has negative duration %d", i, e.Kind, e.Name, e.DurNs)
+		}
+		if int(e.Kind) >= int(metrics.NumEventKinds) {
+			return fmt.Errorf("trace: event %d has unknown kind %d", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// trackKey identifies one timeline row: a worker of a proc of a run.
+type trackKey struct {
+	run, proc, worker int
+}
+
+// AttributeWorkers assigns worker ids to events emitted without one.
+// Most emitters (phase timers, cache fill, park/resume, fetch, send) run
+// inside a worker task but only know their proc; task spans carry the
+// real worker id, so an unattributed event is re-homed to the task span
+// on the same run/proc that contains its start time. Events with no
+// containing task — comm-goroutine dispatches, barriers — keep -1.
+func (t *Trace) AttributeWorkers() {
+	// Task spans per (run, proc, worker), start-sorted.
+	tasks := make(map[trackKey][]Event)
+	workers := make(map[[2]int][]int) // (run, proc) -> worker ids
+	for _, e := range t.Events {
+		if e.Kind != metrics.EvTask {
+			continue
+		}
+		k := trackKey{e.Run, e.Proc, e.Worker}
+		if len(tasks[k]) == 0 {
+			rp := [2]int{e.Run, e.Proc}
+			workers[rp] = append(workers[rp], e.Worker)
+		}
+		tasks[k] = append(tasks[k], e)
+	}
+	for _, evs := range tasks {
+		sort.Slice(evs, func(a, b int) bool { return evs[a].StartNs < evs[b].StartNs })
+	}
+	for i := range t.Events {
+		e := &t.Events[i]
+		if e.Worker != -1 || e.Kind == metrics.EvTask ||
+			e.Kind == metrics.EvMsgRecv || e.Kind == metrics.EvBarrier {
+			continue
+		}
+		// Among candidate workers, pick the containing task with the
+		// latest start (tightest containment).
+		bestStart := int64(-1)
+		bestWorker := -1
+		for _, w := range workers[[2]int{e.Run, e.Proc}] {
+			evs := tasks[trackKey{e.Run, e.Proc, w}]
+			// Latest task starting at or before e.
+			j := sort.Search(len(evs), func(j int) bool { return evs[j].StartNs > e.StartNs }) - 1
+			if j >= 0 && evs[j].End() > e.StartNs && evs[j].StartNs > bestStart {
+				bestStart = evs[j].StartNs
+				bestWorker = w
+			}
+		}
+		if bestWorker != -1 {
+			e.Worker = bestWorker
+		}
+	}
+}
+
+// timeRange returns the [min start, max end] of all events, or (0, 0)
+// for an empty trace.
+func (t *Trace) timeRange() (int64, int64) {
+	if len(t.Events) == 0 {
+		return 0, 0
+	}
+	lo, hi := t.Events[0].StartNs, t.Events[0].End()
+	for _, e := range t.Events[1:] {
+		if e.StartNs < lo {
+			lo = e.StartNs
+		}
+		if e.End() > hi {
+			hi = e.End()
+		}
+	}
+	return lo, hi
+}
+
+// tracks returns the sorted list of distinct (run, proc, worker) rows.
+func (t *Trace) tracks() []trackKey {
+	seen := make(map[trackKey]bool)
+	var out []trackKey
+	for _, e := range t.Events {
+		k := trackKey{e.Run, e.Proc, e.Worker}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].run != out[b].run {
+			return out[a].run < out[b].run
+		}
+		if out[a].proc != out[b].proc {
+			return out[a].proc < out[b].proc
+		}
+		return out[a].worker < out[b].worker
+	})
+	return out
+}

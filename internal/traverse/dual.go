@@ -287,6 +287,7 @@ func (d *Dual[D, V]) pause(f dualFrame[D]) {
 	resume := func() {
 		if d.mx.enabled {
 			d.mx.resumes.Inc(d.mx.shard)
+			d.mx.noteResume()
 		}
 		fresh := f.parent.Child(f.childIdx)
 		d.push(dualFrame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, group: f.group})
@@ -296,6 +297,7 @@ func (d *Dual[D, V]) pause(f dualFrame[D]) {
 	if d.cache.Request(d.viewID, f.node, resume) {
 		if d.mx.enabled {
 			d.mx.parks.Inc(d.mx.shard)
+			d.mx.notePark()
 		}
 		return
 	}

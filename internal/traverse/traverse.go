@@ -41,6 +41,10 @@ type engineMetrics struct {
 	resumes *metrics.Counter
 	hits    *metrics.Counter
 	misses  *metrics.Counter
+	// tracer is nil unless the registry traces; park/resume instants are
+	// emitted only on the miss path (pause and the resume closure), never
+	// per frame.
+	tracer *metrics.Tracer
 }
 
 func newEngineMetrics(proc *rt.Proc) engineMetrics {
@@ -58,6 +62,26 @@ func newEngineMetrics(proc *rt.Proc) engineMetrics {
 		resumes: reg.Counter(metrics.CTraverseResumes),
 		hits:    reg.Counter(metrics.CCacheHits),
 		misses:  reg.Counter(metrics.CCacheMisses),
+		tracer:  reg.Tracer(),
+	}
+}
+
+// notePark records a park instant on the trace timeline. Lives on the
+// miss path only, so the clock read is off the per-frame pump.
+//
+//paratreet:coldpath
+func (m *engineMetrics) notePark() {
+	if m.tracer != nil {
+		m.tracer.Emit(metrics.EvPark, "park", m.shard, -1, 0, time.Now(), 0)
+	}
+}
+
+// noteResume records a resume instant; runs on the resumed continuation.
+//
+//paratreet:coldpath
+func (m *engineMetrics) noteResume() {
+	if m.tracer != nil {
+		m.tracer.Emit(metrics.EvResume, "resume", m.shard, -1, 0, time.Now(), 0)
 	}
 }
 
@@ -429,6 +453,7 @@ func (t *Traversal[D, V]) pause(f frame[D]) {
 	resume := func() {
 		if t.mx.enabled {
 			t.mx.resumes.Inc(t.mx.shard)
+			t.mx.noteResume()
 		}
 		fresh := f.parent.Child(f.childIdx)
 		t.push(frame[D]{node: fresh, parent: f.parent, childIdx: f.childIdx, active: f.active})
@@ -438,6 +463,7 @@ func (t *Traversal[D, V]) pause(f frame[D]) {
 	if t.cache.Request(t.viewID, f.node, resume) {
 		if t.mx.enabled {
 			t.mx.parks.Inc(t.mx.shard)
+			t.mx.notePark()
 		}
 		return
 	}

@@ -21,4 +21,24 @@ go test ./...
 echo "==> go test -race -short"
 go test -race -short ./...
 
+echo "==> trace pipeline"
+# End-to-end timeline check: a quick traced kNN run must produce a Chrome
+# trace the analyzer accepts (paratreet-trace exits nonzero on malformed
+# or empty traces), with every report section rendered.
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/paratreet-bench knn -quick -trace 65536 \
+	-trace-out "$tracedir/trace.json" -metrics-out "$tracedir/metrics.json" > /dev/null
+go run ./cmd/paratreet-trace validate "$tracedir/trace.json"
+report="$(go run ./cmd/paratreet-trace report "$tracedir/trace.json")"
+for section in summary gantt phases spans "fetch rtt" "critical path"; do
+	case "$report" in
+	*"$section"*) ;;
+	*)
+		echo "trace report missing section: $section" >&2
+		exit 1
+		;;
+	esac
+done
+
 echo "CI gate passed."
