@@ -1,0 +1,167 @@
+package paratreet_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"paratreet"
+	"paratreet/internal/gravity"
+	"paratreet/internal/knn"
+	"paratreet/internal/particle"
+)
+
+// Chaos differential tests: delivery-fault injection (dropped, duplicated,
+// jittered, and paused messages on every link) must be invisible to
+// application results. The cache's retry protocol re-sends lost fetch
+// traffic and its idempotent insert discards duplicated fills, so the only
+// observable differences from a fault-free run are timings and the
+// Drops/Retries counters. kNN is an exact algorithm and must match the
+// clean run bit-for-bit; Barnes-Hut gravity traverses the same interaction
+// lists, so it must match to floating-point summation-order tolerance
+// (resume order varies with fill arrival).
+
+// chaosFaults is the fixed-seed fault cocktail every chaos cell runs under:
+// heavy loss and duplication, plus jitter and short receive pauses so
+// arrival order is thoroughly shuffled. ci.sh runs this test under -race.
+func chaosFaults() *paratreet.FaultConfig {
+	return &paratreet.FaultConfig{
+		Seed:      1,
+		DropProb:  0.15,
+		DupProb:   0.10,
+		JitterMax: 200 * time.Microsecond,
+		PauseProb: 0.02,
+		PauseMax:  100 * time.Microsecond,
+	}
+}
+
+func chaosConfig(d paratreet.DecompType, p paratreet.CachePolicy, faulty bool) paratreet.Config {
+	cfg := diffConfig(d, p)
+	if faulty {
+		cfg.Faults = chaosFaults()
+	}
+	return cfg
+}
+
+// TestChaosGravityUnchangedByFaults runs one Barnes-Hut pass per
+// decomp x policy cell with faults on and off; accelerations must agree to
+// FP tolerance, and the faulted run must actually have exercised the fault
+// machinery (Drops > 0).
+func TestChaosGravityUnchangedByFaults(t *testing.T) {
+	const n = 2000
+	par := gravity.Params{G: 1, Theta: 0.5, Soft: 1e-3}
+	ps0 := particle.NewClustered(n, 1234, paratreet.Box{Max: paratreet.V(1, 1, 1)}, 6)
+
+	for _, combo := range diffCombos(testing.Short()) {
+		di, pi := combo[0], combo[1]
+		name := fmt.Sprintf("%s/%s", diffDecomps[di].name, diffPolicies[pi].name)
+		clean := runGravityOnce(t, chaosConfig(diffDecomps[di].d, diffPolicies[pi].p, false),
+			particle.Clone(ps0), par)
+		faulty := runGravityChaos(t, chaosConfig(diffDecomps[di].d, diffPolicies[pi].p, true),
+			particle.Clone(ps0), par, name)
+		for id := range faulty {
+			diff := faulty[id].Sub(clean[id]).Norm()
+			scale := math.Max(clean[id].Norm(), 1)
+			if diff/scale > 1e-9 {
+				t.Fatalf("%s: particle %d acc %v differs from clean run %v by %g under faults",
+					name, id, faulty[id], clean[id], diff/scale)
+			}
+		}
+	}
+}
+
+// runGravityChaos is runGravityOnce plus the fault-exercise assertions:
+// the machine must record drops (faults actually fired) and terminate
+// quiescence (sim.Run returning at all proves that).
+func runGravityChaos(t *testing.T, cfg paratreet.Config, ps []particle.Particle, par gravity.Params, name string) []paratreet.Vec3 {
+	t.Helper()
+	sim, err := paratreet.NewSimulation[gravity.CentroidData](cfg, gravity.Accumulator{}, gravity.Codec{}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	driver := paratreet.DriverFuncs[gravity.CentroidData]{
+		TraversalFn: func(s *paratreet.Simulation[gravity.CentroidData], iter int) {
+			paratreet.StartDown(s, func(p *paratreet.Partition[gravity.CentroidData]) gravity.Visitor[gravity.CentroidData] {
+				return gravity.New(par)
+			})
+		},
+	}
+	if err := sim.Run(1, driver); err != nil {
+		t.Fatal(err)
+	}
+	stats := sim.Stats()
+	if stats.Drops == 0 {
+		t.Errorf("%s: faulted run recorded no drops; fault injection did not engage", name)
+	}
+	acc := make([]paratreet.Vec3, len(ps))
+	for _, p := range sim.Particles() {
+		acc[p.ID] = p.Acc
+	}
+	return acc
+}
+
+// TestChaosKNNIdenticalUnderFaults runs the exact kNN search with faults on
+// and off; the neighbor radii must be bit-identical, since delivery faults
+// may never change which nodes a traversal visits.
+func TestChaosKNNIdenticalUnderFaults(t *testing.T) {
+	const n = 2000
+	const k = 12
+	ps0 := particle.NewCosmological(n, 1234, paratreet.Box{Max: paratreet.V(1, 1, 1)})
+
+	for _, combo := range diffCombos(testing.Short()) {
+		di, pi := combo[0], combo[1]
+		name := fmt.Sprintf("%s/%s", diffDecomps[di].name, diffPolicies[pi].name)
+		clean := runKNNChaos(t, chaosConfig(diffDecomps[di].d, diffPolicies[pi].p, false), ps0, k, name)
+		faulty := runKNNChaos(t, chaosConfig(diffDecomps[di].d, diffPolicies[pi].p, true), ps0, k, name)
+		for id := range faulty {
+			if faulty[id] != clean[id] {
+				t.Fatalf("%s: particle %d kNN radius %.17g under faults, %.17g clean",
+					name, id, faulty[id], clean[id])
+			}
+		}
+	}
+}
+
+func runKNNChaos(t *testing.T, cfg paratreet.Config, ps0 []particle.Particle, k int, name string) []float64 {
+	t.Helper()
+	sim, err := paratreet.NewSimulation[knn.Data](cfg, knn.Accumulator{}, knn.Codec{}, particle.Clone(ps0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	got := make([]float64, len(ps0))
+	driver := paratreet.DriverFuncs[knn.Data]{
+		TraversalFn: func(s *paratreet.Simulation[knn.Data], iter int) {
+			for _, p := range s.Partitions() {
+				knn.Attach(p.Buckets(), k)
+			}
+			paratreet.StartUpAndDown(s, func(p *paratreet.Partition[knn.Data]) knn.Visitor {
+				return knn.Visitor{K: k, ExcludeSelf: true}
+			})
+		},
+		PostTraversalFn: func(s *paratreet.Simulation[knn.Data], iter int) {
+			s.ForEachBucket(func(_ *paratreet.Partition[knn.Data], b *paratreet.Bucket) {
+				st := b.State.(*knn.State)
+				for i := range b.Particles {
+					got[b.Particles[i].ID] = st.Radius(i)
+				}
+			})
+		},
+	}
+	if err := sim.Run(1, driver); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults != nil {
+		stats := sim.Stats()
+		if stats.Drops == 0 {
+			t.Errorf("%s: faulted run recorded no drops; fault injection did not engage", name)
+		}
+		if stats.Retries == 0 {
+			t.Errorf("%s: faulted run recorded no retries despite DropProb %.2f",
+				name, cfg.Faults.DropProb)
+		}
+	}
+	return got
+}

@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"paratreet"
 	"paratreet/internal/experiments"
@@ -44,6 +45,7 @@ func main() {
 		traceCap   = flag.Int("trace", 0, "trace-span ring capacity per run (0 = tracing off; implies -metrics)")
 		traceOut   = flag.String("trace-out", "", "write spans as Chrome Trace Event JSON to this file (implies -trace 65536 when -trace is unset); spans are then omitted from the metrics JSON")
 		httpAddr   = flag.String("http", "", "serve live pprof/expvar introspection and /snapshot on this address, e.g. :6060 (implies -metrics)")
+		faults     = flag.String("faults", "", "inject delivery faults, e.g. drop=0.02,dup=0.02,jitter=200us,pause=1ms,pauseprob=0.01,seed=7 (results are unchanged; timings and retry counters are not)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>  (the experiment may also come first)\n", os.Args[0])
@@ -89,6 +91,13 @@ func main() {
 			}
 			opts.Workers = append(opts.Workers, v)
 		}
+	}
+	if *faults != "" {
+		fc, err := parseFaults(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Faults = fc
 	}
 	if *traceOut != "" && *traceCap == 0 {
 		*traceCap = 65536
@@ -271,6 +280,53 @@ func warnDroppedSpans(w io.Writer, snaps []*paratreet.MetricsSnapshot, traceCap 
 		fmt.Fprintf(w, "paratreet-bench: trace ring dropped %d of %d spans (%.1f%%); raise -trace above %d\n",
 			dropped, total, 100*float64(dropped)/float64(total), traceCap)
 	}
+}
+
+// parseFaults builds a FaultConfig from a comma-separated spec like
+// "drop=0.02,dup=0.02,jitter=200us,pause=1ms,pauseprob=0.01,seed=7".
+// Probabilities are in [0,1]; durations use Go syntax.
+func parseFaults(spec string) (*paratreet.FaultConfig, error) {
+	fc := &paratreet.FaultConfig{Seed: 1}
+	for _, tok := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(tok), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -faults entry %q (want key=value)", tok)
+		}
+		switch k {
+		case "drop", "dup", "pauseprob":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("bad -faults probability %q", tok)
+			}
+			switch k {
+			case "drop":
+				fc.DropProb = p
+			case "dup":
+				fc.DupProb = p
+			default:
+				fc.PauseProb = p
+			}
+		case "jitter", "pause":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("bad -faults duration %q", tok)
+			}
+			if k == "jitter" {
+				fc.JitterMax = d
+			} else {
+				fc.PauseMax = d
+			}
+		case "seed":
+			s, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -faults seed %q", tok)
+			}
+			fc.Seed = s
+		default:
+			return nil, fmt.Errorf("unknown -faults key %q (have drop dup jitter pause pauseprob seed)", k)
+		}
+	}
+	return fc, nil
 }
 
 // repoRoot finds the module root by walking up from the working directory

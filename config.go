@@ -51,11 +51,39 @@ type Config struct {
 	Latency time.Duration
 	PerByte time.Duration
 
+	// Faults, when non-nil, injects deterministic delivery faults (drops,
+	// duplicates, latency jitter, receive pauses) into the simulated
+	// interconnect, driven by a PRNG seeded per proc pair from Faults.Seed.
+	// Only fault-tolerant traffic (cache fetch/fill) is ever dropped or
+	// duplicated; jitter and pauses apply to all cross-proc messages.
+	Faults *FaultConfig
+	// FetchTimeout is the cache's first fill deadline; a fetch unanswered
+	// past it is re-sent with exponential backoff. 0 picks a default
+	// derived from the link model when Faults can lose messages, and
+	// disables retries otherwise.
+	FetchTimeout time.Duration
+
 	// Metrics, when non-nil, enables the runtime observability layer: the
 	// runtime, cache, and traversal engines record counters, histograms,
 	// utilization profiles, and (optionally) trace spans into the registry.
 	// Nil (the default) disables all collection at near-zero cost.
 	Metrics *metrics.Registry
+}
+
+// fetchTimeout resolves the effective cache fill deadline: the explicit
+// FetchTimeout if set; otherwise a deadline comfortably above one
+// fault-free round trip when the configured faults can lose messages, and
+// 0 (retries disabled) on a lossless link.
+func (c *Config) fetchTimeout() time.Duration {
+	if c.FetchTimeout > 0 {
+		return c.FetchTimeout
+	}
+	if c.Faults == nil || (c.Faults.DropProb <= 0 && c.Faults.DupProb <= 0) {
+		return 0
+	}
+	// One round trip costs up to 2*(Latency+JitterMax) plus per-byte time
+	// and insert scheduling; the millisecond floor absorbs those.
+	return 2*(c.Latency+c.Faults.JitterMax) + 4*time.Millisecond
 }
 
 // Validate reports configuration errors.

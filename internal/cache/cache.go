@@ -78,6 +78,64 @@ type FillMsg struct {
 	Blob []byte
 }
 
+// RetryMsg is the cache's self-addressed fetch deadline, scheduled through
+// rt.Proc.SendSelfAfter when a request is issued. If the fill has not
+// landed when it fires, the request is re-sent with a doubled deadline.
+// The armed timer holds a quiescence pending unit, so a lost fetch can
+// never strand parked traversals at a premature quiescence.
+type RetryMsg struct {
+	Key     uint64
+	View    int
+	Attempt int
+}
+
+// RetryPolicy bounds the fetch retry protocol. The zero value disables
+// retries (every send is assumed reliable, the pre-fault-injection
+// behavior).
+type RetryPolicy struct {
+	// Timeout is the first attempt's fill deadline; 0 disables retries.
+	Timeout time.Duration
+	// MaxBackoff caps the exponentially doubled deadline. 0 means 32x
+	// Timeout.
+	MaxBackoff time.Duration
+	// MaxAttempts aborts (panics) after this many re-sends, a loud failure
+	// for links lossier than the protocol can mask. 0 means 64.
+	MaxAttempts int
+}
+
+// withDefaults fills the derived bounds of an enabled policy.
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.Timeout <= 0 {
+		return RetryPolicy{}
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = 32 * r.Timeout
+	}
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 64
+	}
+	return r
+}
+
+// backoff returns the deadline for the given attempt (1-based): doubled
+// each attempt, capped at MaxBackoff, plus a deterministic jitter of up to
+// 25% derived from the key so simultaneous timeouts do not re-fire in
+// lockstep.
+func (r RetryPolicy) backoff(key uint64, attempt int) time.Duration {
+	d := r.Timeout
+	for i := 1; i < attempt && d < r.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	// splitmix-style hash of (key, attempt): stateless, so retry timing
+	// never perturbs the fault PRNG sequences.
+	h := key*0x9E3779B97F4A7C15 + uint64(attempt)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	return d + time.Duration(h%uint64(d/4+1))
+}
+
 // view is one cache tree: the whole process shares one view except under
 // PerThread, where each worker owns a view.
 type view[D any] struct {
@@ -106,6 +164,14 @@ type Cache[D any] struct {
 
 	insertMu sync.Mutex // XWrite only
 
+	// retry is the fetch deadline policy (zero = disabled). retryTimers
+	// tracks the armed deadline per in-flight request so a landing fill
+	// cancels it; a stale timer that outlives its request self-cleans when
+	// it fires.
+	retry       RetryPolicy
+	retryMu     sync.Mutex
+	retryTimers map[reqID]*rt.Delayed // guarded by retryMu
+
 	mx cacheMetrics
 }
 
@@ -114,13 +180,15 @@ type Cache[D any] struct {
 // nil when the registry does not trace — the fetch/fill flow events then
 // cost one nil check inside Emit.
 type cacheMetrics struct {
-	enabled  bool
-	fetches  *metrics.Counter
-	fills    *metrics.Counter
-	inserts  *metrics.Counter
-	fetchRTT *metrics.Histogram
-	insertNs *metrics.Histogram
-	tracer   *metrics.Tracer
+	enabled    bool
+	fetches    *metrics.Counter
+	fills      *metrics.Counter
+	inserts    *metrics.Counter
+	staleFills *metrics.Counter
+	retries    *metrics.Counter
+	fetchRTT   *metrics.Histogram
+	insertNs   *metrics.Histogram
+	tracer     *metrics.Tracer
 	// reqAt maps in-flight (key, view) to the request issue time and trace
 	// flow id, for the fetch round-trip histogram and the fetch→fill flow
 	// arrow. A plain map under its own mutex: the previous sync.Map had to
@@ -146,6 +214,16 @@ func (m *cacheMetrics) noteRequest(id reqID, info reqInfo) {
 	}
 	m.reqAt[id] = info
 	m.reqMu.Unlock()
+}
+
+// peekRequest returns the record for id without removing it (the retry
+// path reuses the fetch's flow id while keeping the RTT record for the
+// eventual fill).
+func (m *cacheMetrics) peekRequest(id reqID) (reqInfo, bool) {
+	m.reqMu.Lock()
+	info, ok := m.reqAt[id]
+	m.reqMu.Unlock()
+	return info, ok
 }
 
 // takeRequest removes and returns the record for id.
@@ -199,11 +277,28 @@ func New[D any](proc *rt.Proc, policy Policy, t tree.Type, codec tree.DataCodec[
 		c.mx.fetches = reg.Counter(metrics.CCacheFetches)
 		c.mx.fills = reg.Counter(metrics.CCacheFills)
 		c.mx.inserts = reg.Counter(metrics.CCacheInserts)
+		c.mx.staleFills = reg.Counter(metrics.CCacheStaleFills)
+		c.mx.retries = reg.Counter(metrics.CCacheRetries)
 		c.mx.fetchRTT = reg.Histogram(metrics.HCacheFetchRTT)
 		c.mx.insertNs = reg.Histogram(metrics.HCacheInsert)
 		c.mx.tracer = reg.Tracer()
 	}
 	return c
+}
+
+// SetRetry installs the fetch deadline policy. Call before the machine
+// starts serving traversals; the zero policy disables retries. With
+// retries enabled the cache survives dropped and duplicated fetch traffic
+// (rt fault injection): lost requests or fills are re-sent after an
+// exponentially backed-off deadline, and duplicated fills are discarded by
+// the idempotent insert gate.
+func (c *Cache[D]) SetRetry(p RetryPolicy) {
+	c.retry = p.withDefaults()
+	if c.retry.Timeout > 0 && c.retryTimers == nil {
+		c.retryMu.Lock()
+		c.retryTimers = make(map[reqID]*rt.Delayed)
+		c.retryMu.Unlock()
+	}
 }
 
 // Policy returns the cache's insertion policy.
@@ -269,6 +364,12 @@ func (c *Cache[D]) Reset() {
 		v.root = nil
 		v.pending = sync.Map{}
 	}
+	c.retryMu.Lock()
+	for id, d := range c.retryTimers {
+		delete(c.retryTimers, id)
+		d.Cancel()
+	}
+	c.retryMu.Unlock()
 	c.mx.resetRequests()
 }
 
@@ -292,11 +393,72 @@ func (c *Cache[D]) Request(viewID int, n *tree.Node[D], resume func()) bool {
 			c.mx.tracer.Emit(metrics.EvFetch, "fetch", c.proc.Rank(), -1, flow, now, 0)
 			c.mx.noteRequest(reqID{n.Key, viewID}, reqInfo{at: now, flow: flow})
 		}
-		c.proc.Send(int(n.Owner), RequestMsg{Key: n.Key, Requester: c.proc.Rank(), View: viewID}, requestMsgBytes)
+		c.proc.SendLossy(int(n.Owner), RequestMsg{Key: n.Key, Requester: c.proc.Rank(), View: viewID}, requestMsgBytes)
+		if c.retry.Timeout > 0 {
+			c.armRetry(reqID{n.Key, viewID}, 1)
+		}
 	} else {
 		c.proc.Stats().DuplicateRequests.Add(1)
 	}
 	return true
+}
+
+// armRetry schedules the fill deadline for attempt (1-based) of the given
+// in-flight request.
+func (c *Cache[D]) armRetry(id reqID, attempt int) {
+	d := c.proc.SendSelfAfter(c.retry.backoff(id.key, attempt),
+		RetryMsg{Key: id.key, View: id.view, Attempt: attempt})
+	c.retryMu.Lock()
+	c.retryTimers[id] = d
+	c.retryMu.Unlock()
+}
+
+// cancelRetry disarms the deadline for id, if one is armed. Races are
+// benign: a timer that escapes cancellation finds the request no longer
+// pending when it fires and cleans itself up.
+func (c *Cache[D]) cancelRetry(id reqID) {
+	if c.retry.Timeout <= 0 {
+		return
+	}
+	c.retryMu.Lock()
+	d := c.retryTimers[id]
+	delete(c.retryTimers, id)
+	c.retryMu.Unlock()
+	if d != nil {
+		d.Cancel()
+	}
+}
+
+// HandleRetry fires a fill deadline on the communication goroutine. If the
+// fill landed meanwhile this is a stale timer and cleans itself up;
+// otherwise the request (or its fill) was lost on the wire, so the fetch
+// is re-sent with a doubled deadline.
+func (c *Cache[D]) HandleRetry(msg RetryMsg) {
+	id := reqID{msg.Key, msg.View}
+	v := c.views[msg.View]
+	ph, inFlight := v.pending.Load(msg.Key)
+	if !inFlight {
+		c.retryMu.Lock()
+		delete(c.retryTimers, id)
+		c.retryMu.Unlock()
+		return
+	}
+	if msg.Attempt >= c.retry.MaxAttempts {
+		panic(fmt.Sprintf("cache: fetch for key %#x on rank %d gave up after %d attempts (link lossier than the retry protocol tolerates)",
+			msg.Key, c.proc.Rank(), msg.Attempt))
+	}
+	c.proc.Stats().Retries.Add(1)
+	if c.mx.enabled {
+		c.mx.retries.Inc(c.proc.Rank())
+		var flow uint64
+		if info, ok := c.mx.peekRequest(id); ok {
+			flow = info.flow
+		}
+		c.mx.tracer.Emit(metrics.EvRetry, "retry", c.proc.Rank(), -1, flow, time.Now(), 0)
+	}
+	owner := ph.(*tree.Node[D]).Owner
+	c.proc.SendLossy(int(owner), RequestMsg{Key: msg.Key, Requester: c.proc.Rank(), View: msg.View}, requestMsgBytes)
+	c.armRetry(id, msg.Attempt+1)
 }
 
 // HandleRequest serves a remote request on the home process: locate the
@@ -312,7 +474,7 @@ func (c *Cache[D]) HandleRequest(msg RequestMsg) error {
 	st := c.proc.Stats()
 	st.NodesShipped.Add(int64(countShipped(n, c.fetchDepth)))
 	st.ParticlesShipped.Add(int64(countParticlesShipped(n, c.fetchDepth)))
-	c.proc.Send(msg.Requester, FillMsg{Key: msg.Key, View: msg.View, Blob: blob}, len(blob))
+	c.proc.SendLossy(msg.Requester, FillMsg{Key: msg.Key, View: msg.View, Blob: blob}, len(blob))
 	c.proc.PhaseSince(rt.PhaseCacheRequest, start)
 	return nil
 }
@@ -326,7 +488,14 @@ func (c *Cache[D]) HandleFill(msg FillMsg) {
 	c.mx.fills.Inc(c.proc.Rank())
 	insert := func() {
 		start := time.Now()
-		c.insert(msg)
+		if !c.insert(msg) {
+			// A duplicated (or spuriously re-fetched) fill lost the pending
+			// gate: the subtree is already published, so drop the copy.
+			if c.mx.enabled {
+				c.mx.staleFills.Inc(c.proc.Rank())
+			}
+			return
+		}
 		dur := time.Since(start)
 		c.proc.PhaseSince(rt.PhaseCacheInsert, start)
 		if c.mx.enabled {
@@ -353,14 +522,17 @@ func (c *Cache[D]) HandleFill(msg FillMsg) {
 // insert converts the collapsed fill into wired nodes (Step 2), checks the
 // local-roots hash table for re-entrant boundaries (Step 3), publishes the
 // subtree with an atomic swap of the placeholder (Step 4), and schedules
-// the paused traversals parked on it (Step 5).
-func (c *Cache[D]) insert(msg FillMsg) {
+// the paused traversals parked on it (Step 5). It reports false for a
+// stale fill — one whose pending entry was already consumed by an earlier
+// copy — making fill application idempotent under duplication and retry.
+func (c *Cache[D]) insert(msg FillMsg) bool {
 	v := c.views[msg.View]
 	phAny, ok := v.pending.LoadAndDelete(msg.Key)
 	if !ok {
-		panic(fmt.Sprintf("cache: fill for key %#x with no pending request", msg.Key))
+		return false
 	}
 	ph := phAny.(*tree.Node[D])
+	c.cancelRetry(reqID{msg.Key, msg.View})
 
 	if c.policy == XWrite {
 		// Exclusive-write model: deserialization and splice both happen
@@ -390,6 +562,7 @@ func (c *Cache[D]) insert(msg FillMsg) {
 	for _, resume := range ph.Waiters.Seal() {
 		c.proc.Submit(resume)
 	}
+	return true
 }
 
 // FindLocal locates the local node with the given key by descending from

@@ -102,6 +102,10 @@ type Config struct {
 	// to every process during the top-share step (the paper's branch-node
 	// sharing hyperparameter). 0 shares only the root summaries.
 	ShareDepth int
+	// Retry is the cache fetch deadline policy. The zero value disables
+	// retries; enable it whenever the machine injects message loss, or
+	// dropped fetch traffic would strand traversals.
+	Retry cache.RetryPolicy
 }
 
 // WithDefaults fills unset fields based on the machine size.
@@ -176,6 +180,7 @@ func NewWorld[D any](m *rt.Machine, cfg Config, acc tree.Accumulator[D], codec t
 	w := &World[D]{Machine: m, cfg: cfg, acc: acc, codec: codec}
 	for r := 0; r < m.NumProcs(); r++ {
 		c := cache.New[D](m.Proc(r), cfg.CachePolicy, cfg.TreeType, codec, cfg.FetchDepth)
+		c.SetRetry(cfg.Retry)
 		w.Caches = append(w.Caches, c)
 		proc := m.Proc(r)
 		proc.SetDispatcher(func(from int, payload any) {
@@ -186,6 +191,8 @@ func NewWorld[D any](m *rt.Machine, cfg Config, acc tree.Accumulator[D], codec t
 				}
 			case cache.FillMsg:
 				c.HandleFill(msg)
+			case cache.RetryMsg:
+				c.HandleRetry(msg)
 			case bucketMsg:
 				w.receiveBucket(msg)
 			case RawMsg:

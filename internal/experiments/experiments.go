@@ -41,6 +41,13 @@ type Options struct {
 	// every simulation the experiment runs and collects one labeled
 	// snapshot per run (e.g. "fig3/WaitFree/w4"). Nil disables collection.
 	Metrics *MetricsCollector
+	// Faults, when non-nil, injects deterministic delivery faults (drops,
+	// duplicates, jitter, pauses) into every simulation the experiment
+	// runs; results must not change, only timings and retry counters.
+	Faults *paratreet.FaultConfig
+	// FetchTimeout overrides the cache fill deadline used with Faults
+	// (0 derives one from the link model).
+	FetchTimeout time.Duration
 }
 
 // MetricsCollector accumulates labeled observability snapshots across an
@@ -247,6 +254,7 @@ func RunFig3(opts Options) (*Result, error) {
 			ps := particle.NewClustered(opts.N, opts.Seed, box, 8)
 			sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
 				Procs: procs, WorkersPerProc: wpp,
+				Faults: opts.Faults, FetchTimeout: opts.FetchTimeout,
 				Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
 				BucketSize: 16, CachePolicy: pc.policy, FetchDepth: 2,
 				Latency: 20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
@@ -294,6 +302,7 @@ func RunFig9(opts Options) (*Result, error) {
 	ps := particle.NewUniform(opts.N, opts.Seed, vec.UnitBox())
 	sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
 		Procs: procs, WorkersPerProc: wpp,
+		Faults: opts.Faults, FetchTimeout: opts.FetchTimeout,
 		Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
 		BucketSize: 16,
 		Latency:    20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
@@ -360,6 +369,7 @@ func RunFig10(opts Options) (*Result, error) {
 
 		base := paratreet.Config{
 			Procs: procs, WorkersPerProc: wpp,
+			Faults: opts.Faults, FetchTimeout: opts.FetchTimeout,
 			Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC, BucketSize: 16,
 			Latency: 20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
 		}
@@ -411,6 +421,7 @@ func RunFig11(opts Options) (*Result, error) {
 		ps := particle.NewCosmological(opts.N, opts.Seed, vec.UnitBox())
 		sim, err := paratreet.NewSimulation[knn.Data](paratreet.Config{
 			Procs: procs, WorkersPerProc: wpp,
+			Faults: opts.Faults, FetchTimeout: opts.FetchTimeout,
 			Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC, BucketSize: 16,
 			Latency: 20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
 		}, knn.Accumulator{}, knn.Codec{}, ps)
@@ -497,6 +508,7 @@ func RunKNN(opts Options) (*Result, error) {
 	ps := particle.NewCosmological(opts.N, opts.Seed, vec.UnitBox())
 	sim, err := paratreet.NewSimulation[knn.Data](paratreet.Config{
 		Procs: procs, WorkersPerProc: wpp,
+		Faults: opts.Faults, FetchTimeout: opts.FetchTimeout,
 		Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC, BucketSize: 16,
 		Latency: 20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
 		Metrics: opts.Metrics.registry(),

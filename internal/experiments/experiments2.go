@@ -309,6 +309,7 @@ func RunFig13(opts Options) (*Result, error) {
 			ps := particle.NewDisk(opts.N, opts.Seed, dp)
 			sim, err := paratreet.NewSimulation[collision.DiskData](paratreet.Config{
 				Procs: procs, WorkersPerProc: wpp,
+				Faults: opts.Faults, FetchTimeout: opts.FetchTimeout,
 				Tree: v.tree, Decomp: v.decomp, BucketSize: 32,
 				Style: v.style, CachePolicy: v.cache,
 				Latency: 20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
@@ -358,6 +359,7 @@ func RunLBAblation(opts Options) (*Result, error) {
 			ps := particle.NewClustered(opts.N, opts.Seed, vec.UnitBox(), 3)
 			sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
 				Procs: procs, WorkersPerProc: wpp,
+				Faults: opts.Faults, FetchTimeout: opts.FetchTimeout,
 				Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
 				BucketSize: 16, Partitions: procs * 16,
 				LB: mode, LBPeriod: 1,
@@ -400,6 +402,7 @@ func RunFetchDepthAblation(opts Options, depths []int) (*Result, error) {
 		ps := particle.NewUniform(opts.N, opts.Seed, vec.UnitBox())
 		sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
 			Procs: procs, WorkersPerProc: wpp,
+			Faults: opts.Faults, FetchTimeout: opts.FetchTimeout,
 			Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
 			BucketSize: 16, FetchDepth: depth,
 			Latency: 20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
@@ -443,6 +446,7 @@ func RunShareDepthAblation(opts Options, depths []int) (*Result, error) {
 		ps := particle.NewUniform(opts.N, opts.Seed, vec.UnitBox())
 		sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
 			Procs: procs, WorkersPerProc: wpp,
+			Faults: opts.Faults, FetchTimeout: opts.FetchTimeout,
 			Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
 			BucketSize: 16, ShareDepth: depth,
 			Latency: 20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
@@ -486,6 +490,7 @@ func RunStyleComparison(opts Options) (*Result, error) {
 			ps := particle.NewUniform(opts.N, opts.Seed, vec.UnitBox())
 			sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
 				Procs: procs, WorkersPerProc: wpp,
+				Faults: opts.Faults, FetchTimeout: opts.FetchTimeout,
 				Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
 				BucketSize: 16, Style: style,
 			}, gravity.Accumulator{}, gravity.Codec{}, ps)

@@ -52,6 +52,12 @@ const (
 	CCacheFills = "cache.fills"
 	// CCacheInserts counts fills wired and published into a view tree.
 	CCacheInserts = "cache.inserts"
+	// CCacheStaleFills counts fill messages discarded because the subtree
+	// was already wired: duplicated fills (fault injection) or fills racing
+	// a retry's second copy. Idempotent insertion makes them harmless.
+	CCacheStaleFills = "cache.stale_fills"
+	// CCacheRetries counts fetch re-sends after a fill deadline expired.
+	CCacheRetries = "cache.retries"
 
 	// HCacheFetchRTT is the request-to-publish round-trip latency
 	// histogram, in nanoseconds.

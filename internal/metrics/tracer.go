@@ -37,6 +37,12 @@ const (
 	EvResume
 	// EvBarrier is a quiescence wait on the driver thread.
 	EvBarrier
+	// EvDrop is the instant an injected fault discarded a message at its
+	// destination; its flow id matches the EvMsgSend that produced it.
+	EvDrop
+	// EvRetry is the instant the cache re-sent a fetch whose fill missed
+	// its deadline; its flow id matches the original EvFetch.
+	EvRetry
 
 	// NumEventKinds is the number of event kinds.
 	NumEventKinds
@@ -47,6 +53,7 @@ const (
 var eventKindNames = [NumEventKinds]string{
 	"phase", "task", "idle", "msg-send", "msg-recv",
 	"fetch", "fill", "park", "resume", "barrier",
+	"drop", "retry",
 }
 
 // String implements fmt.Stringer.

@@ -10,6 +10,7 @@ package rt
 
 import (
 	"fmt"
+	"math/rand"
 	"reflect"
 	"strings"
 	"sync"
@@ -36,6 +37,42 @@ type Config struct {
 	// and traversal layers resolve their instruments from it via
 	// Proc.Metrics. A nil registry costs one pointer check per event.
 	Metrics *metrics.Registry
+	// Faults, when non-nil and active, injects delivery faults on
+	// cross-process links: latency jitter and short delivery pauses on
+	// every message, plus drops and duplicates on messages posted through
+	// SendLossy (traffic whose application layer retries, i.e. the cache
+	// fetch protocol). Self-sends are never faulted. Nil delivers
+	// everything exactly once.
+	Faults *FaultConfig
+}
+
+// FaultConfig parameterizes deterministic fault injection. Each link
+// (ordered process pair) draws from its own PRNG seeded from Seed, so a
+// link's fault sequence is a pure function of the seed and the order of
+// sends on that link — chaos runs are reproducible wherever the
+// application's send order is.
+type FaultConfig struct {
+	// Seed seeds the per-link PRNGs.
+	Seed int64
+	// DropProb is the probability a SendLossy message is discarded at its
+	// destination (through the audited quiescence path).
+	DropProb float64
+	// DupProb is the probability a SendLossy message arrives twice.
+	DupProb float64
+	// JitterMax adds uniform [0, JitterMax) extra latency per message.
+	JitterMax time.Duration
+	// PauseProb is the probability a delivery stalls the destination's
+	// communication goroutine for uniform [0, PauseMax), modeling OS or
+	// GC hiccups on the comm thread.
+	PauseProb float64
+	// PauseMax bounds the injected pause.
+	PauseMax time.Duration
+}
+
+// active reports whether the spec injects any fault at all.
+func (f *FaultConfig) active() bool {
+	return f != nil && (f.DropProb > 0 || f.DupProb > 0 || f.JitterMax > 0 ||
+		(f.PauseProb > 0 && f.PauseMax > 0))
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +139,12 @@ type Stats struct {
 	TasksRun          atomic.Int64
 	LockWaitNanos     atomic.Int64
 	Steals            atomic.Int64
+	// Retries counts fetch re-sends after a fill missed its deadline
+	// (incremented by the cache's retry handler).
+	Retries atomic.Int64
+	// Drops counts messages discarded by injected wire faults, recorded on
+	// the destination process at arrival time.
+	Drops atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -110,6 +153,7 @@ type StatsSnapshot struct {
 	NodeRequests, DuplicateRequests       int64
 	Fills, NodesShipped, ParticlesShipped int64
 	TasksRun, LockWaitNanos, Steals       int64
+	Retries, Drops                        int64
 }
 
 // Snapshot reads all counters.
@@ -125,6 +169,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		TasksRun:          s.TasksRun.Load(),
 		LockWaitNanos:     s.LockWaitNanos.Load(),
 		Steals:            s.Steals.Load(),
+		Retries:           s.Retries.Load(),
+		Drops:             s.Drops.Load(),
 	}
 }
 
@@ -142,6 +188,8 @@ func (s *Stats) reset() {
 	s.TasksRun.Store(0)
 	s.LockWaitNanos.Store(0)
 	s.Steals.Store(0)
+	s.Retries.Store(0)
+	s.Drops.Store(0)
 }
 
 // Add accumulates another snapshot into this one.
@@ -156,25 +204,50 @@ func (s *StatsSnapshot) Add(o StatsSnapshot) {
 	s.TasksRun += o.TasksRun
 	s.LockWaitNanos += o.LockWaitNanos
 	s.Steals += o.Steals
+	s.Retries += o.Retries
+	s.Drops += o.Drops
 }
 
 // message is an in-flight inter-process message. flow is the trace flow id
 // linking the send instant to the receive dispatch (0 when tracing is off).
+// enq totally orders the destination's inbox heap among equal arrival
+// times; per-link arrival times are strictly increasing, so heap order
+// preserves per-pair FIFO.
 type message struct {
 	from     int
 	flow     uint64
 	payload  any
 	arriveAt time.Time
+	enq      uint64
+	pause    time.Duration // injected comm-goroutine stall before delivery
+	drop     bool          // injected wire loss: discard at arrival via the audited path
+	delayed  *Delayed      // cancelable self-timer (SendSelfAfter), nil otherwise
+}
+
+// linkState is the per-ordered-proc-pair wire state: the fault PRNG and
+// the arrival-time clamp that keeps per-pair delivery FIFO under jitter
+// and unequal message sizes now that the inbox dispatches by arrival time.
+type linkState struct {
+	mu         sync.Mutex
+	rng        *rand.Rand // guarded by mu; nil when fault injection is off
+	lastArrive time.Time  // guarded by mu
 }
 
 // Machine is the simulated distributed machine.
 type Machine struct {
 	cfg     Config
 	procs   []*Proc
+	links   []linkState  // P*P per-ordered-pair wire state
 	pending atomic.Int64 // outstanding tasks + messages, for quiescence
 	stop    atomic.Bool
+	stopCh  chan struct{} // closed by Stop; unblocks comm goroutines and waiters
 	started bool
 	wg      sync.WaitGroup
+
+	// qmu/qcond wake WaitQuiescence when pending reaches zero (or the
+	// machine stops); pendingDone is the only signaler.
+	qmu   sync.Mutex
+	qcond *sync.Cond
 
 	// Observability (nil / empty when cfg.Metrics is nil; tracer is
 	// additionally nil when the registry does not trace).
@@ -195,7 +268,17 @@ type cell struct {
 // Stop when finished.
 func NewMachine(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
-	m := &Machine{cfg: cfg, reg: cfg.Metrics}
+	m := &Machine{cfg: cfg, reg: cfg.Metrics, stopCh: make(chan struct{})}
+	m.qcond = sync.NewCond(&m.qmu)
+	m.links = make([]linkState, cfg.Procs*cfg.Procs)
+	if cfg.Faults.active() {
+		for i := range m.links {
+			// Golden-ratio mixing keeps link seeds distinct even for small
+			// user seeds.
+			//paratreet:allow(lockcheck) construction-time init, before any sender can hold link.mu
+			m.links[i].rng = rand.New(rand.NewSource(int64(uint64(cfg.Faults.Seed) ^ uint64(i+1)*0x9E3779B97F4A7C15)))
+		}
+	}
 	if m.reg != nil {
 		m.commMsgs = make([]cell, cfg.Procs*cfg.Procs)
 		m.commByte = make([]cell, cfg.Procs*cfg.Procs)
@@ -234,17 +317,22 @@ func (m *Machine) Start() {
 	}
 }
 
-// Stop terminates all goroutines. Pending work is abandoned.
+// Stop terminates all goroutines and unblocks any WaitQuiescence callers.
+// Pending work is abandoned. Safe to call more than once.
 func (m *Machine) Stop() {
-	m.stop.Store(true)
-	for _, p := range m.procs {
-		p.wakeAll()
+	if m.stop.CompareAndSwap(false, true) {
+		close(m.stopCh)
+		// Wake quiescence waiters: they re-check the stop flag under qmu.
+		m.qmu.Lock()
+		m.qcond.Broadcast()
+		m.qmu.Unlock()
 	}
 	m.wg.Wait()
 }
 
 // WaitQuiescence blocks until no tasks are queued or running and no
-// messages are in flight. Submit initial work before calling it. When the
+// messages are in flight — or the machine is stopped, so a concurrent Stop
+// never strands a waiter. Submit initial work before calling it. When the
 // attached registry traces, the wait is recorded as a barrier span on the
 // machine track (proc -1); the clock reads happen only on that path.
 func (m *Machine) WaitQuiescence() {
@@ -252,11 +340,29 @@ func (m *Machine) WaitQuiescence() {
 	if m.tracer != nil {
 		start = time.Now()
 	}
-	for m.pending.Load() != 0 {
-		time.Sleep(10 * time.Microsecond)
+	// The zero check and the Wait both happen under qmu, and pendingDone
+	// broadcasts under qmu after the counter hits zero, so the wakeup
+	// cannot be lost between the check and the sleep.
+	m.qmu.Lock()
+	for m.pending.Load() != 0 && !m.stop.Load() {
+		m.qcond.Wait()
 	}
+	m.qmu.Unlock()
 	if m.tracer != nil {
 		m.tracer.Emit(metrics.EvBarrier, "quiescence", -1, -1, 0, start, time.Since(start))
+	}
+}
+
+// pendingDone retires one unit of in-flight work: a task that finished, a
+// message that was dispatched, an injected drop that was recorded, or a
+// canceled self-timer. It is the single audited decrement path matching
+// every pending.Add(1) in Send/Submit/SendSelfAfter, so quiescence
+// accounting cannot leak no matter which fate a message meets.
+func (m *Machine) pendingDone() {
+	if m.pending.Add(-1) == 0 {
+		m.qmu.Lock()
+		m.qcond.Broadcast()
+		m.qmu.Unlock()
 	}
 }
 
@@ -408,11 +514,18 @@ type Proc struct {
 	rank    int
 	workers []*worker
 
-	inboxMu   sync.Mutex
-	inbox     []message // guarded by inboxMu
-	inboxCond *sync.Cond
+	inboxMu  sync.Mutex
+	inbox    msgHeap       // guarded by inboxMu; min-heap by (arriveAt, enq)
+	enqSeq   uint64        // guarded by inboxMu; heap tiebreak counter
+	inboxNew chan struct{} // capacity-1 nudge: inbox gained a message
 
 	dispatcher atomic.Pointer[func(from int, payload any)]
+
+	// predispatch buffers messages that arrive before SetDispatcher
+	// installs a handler; they still hold their quiescence pending unit,
+	// so nothing is silently lost.
+	preMu       sync.Mutex
+	predispatch []message // guarded by preMu
 
 	stats    Stats
 	phases   [NumPhases]atomic.Int64
@@ -424,8 +537,7 @@ type Proc struct {
 }
 
 func newProc(m *Machine, rank, nworkers int) *Proc {
-	p := &Proc{machine: m, rank: rank}
-	p.inboxCond = sync.NewCond(&p.inboxMu)
+	p := &Proc{machine: m, rank: rank, inboxNew: make(chan struct{}, 1)}
 	for w := 0; w < nworkers; w++ {
 		p.workers = append(p.workers, &worker{proc: p, id: w})
 	}
@@ -475,8 +587,26 @@ func (p *Proc) TimePhase(ph Phase, fn func()) {
 // SetDispatcher installs the message handler, called on the communication
 // goroutine for every arriving message. The handler must not block on
 // sends (Send never blocks) and should offload heavy work via Submit.
+// Messages that arrived before any dispatcher was installed are buffered;
+// installing the first dispatcher re-queues them for dispatch on the
+// communication goroutine in their original arrival order.
 func (p *Proc) SetDispatcher(fn func(from int, payload any)) {
+	p.preMu.Lock()
 	p.dispatcher.Store(&fn)
+	buffered := p.predispatch
+	p.predispatch = nil
+	p.preMu.Unlock()
+	if len(buffered) == 0 {
+		return
+	}
+	// Re-queue with original enq numbers: the heap replays them before any
+	// newer message with the same arrival time.
+	p.inboxMu.Lock()
+	for _, msg := range buffered {
+		p.inbox.push(msg)
+	}
+	p.inboxMu.Unlock()
+	p.notifyInbox()
 }
 
 // Send delivers payload to process `to`, accounting bytes for bandwidth
@@ -485,39 +615,148 @@ func (p *Proc) SetDispatcher(fn func(from int, payload any)) {
 // send instant whose flow id the receiving dispatch repeats, giving the
 // timeline a send→recv arrow; the instant reuses the clock read Send
 // already takes for the arrival time.
+//
+// When fault injection is active, Send sees only delay faults (jitter,
+// delivery pauses): the message itself is delivered exactly once, because
+// nothing above Send retries it.
 func (p *Proc) Send(to int, payload any, bytes int) {
-	if p.machine.commMsgs != nil {
-		i := p.rank*len(p.machine.procs) + to
-		p.machine.commMsgs[i].v.Add(1)
-		p.machine.commByte[i].v.Add(int64(bytes))
+	p.send(to, payload, bytes, false)
+}
+
+// SendLossy is Send for traffic protected by an application-level retry
+// protocol: under fault injection the message may additionally be dropped
+// or duplicated. The cache fetch path (requests and fills) opts in; bucket
+// shipping and raw traffic stay loss-free because nothing above them
+// re-sends.
+func (p *Proc) SendLossy(to int, payload any, bytes int) {
+	p.send(to, payload, bytes, true)
+}
+
+func (p *Proc) send(to int, payload any, bytes int, lossy bool) {
+	m := p.machine
+	if m.commMsgs != nil {
+		i := p.rank*len(m.procs) + to
+		m.commMsgs[i].v.Add(1)
+		m.commByte[i].v.Add(int64(bytes))
 	}
-	tr := p.machine.tracer
+	tr := m.tracer
 	now := time.Now()
 	var flow uint64
 	if tr != nil {
 		flow = tr.NextFlow()
 		tr.Emit(metrics.EvMsgSend, "send", p.rank, -1, flow, now, 0)
 	}
+	// Self-sends and cross-proc sends count identically, so TotalStats
+	// always agrees with the communication matrix (which already included
+	// self-edges).
+	p.stats.MessagesSent.Add(1)
+	p.stats.BytesSent.Add(int64(bytes))
 	if to == p.rank {
-		// Local "message": dispatch through the same path, zero latency.
-		p.machine.pending.Add(1)
+		// Local "message": dispatch through the same path, zero latency,
+		// never faulted.
+		m.pending.Add(1)
 		p.enqueueMessage(message{from: p.rank, flow: flow, payload: payload, arriveAt: now})
 		return
 	}
-	cfg := p.machine.cfg
-	arrive := now.Add(cfg.Latency + time.Duration(bytes)*cfg.PerByte)
-	p.stats.MessagesSent.Add(1)
-	p.stats.BytesSent.Add(int64(bytes))
-	dst := p.machine.procs[to]
+	cfg := m.cfg
+	base := cfg.Latency + time.Duration(bytes)*cfg.PerByte
+	msg := message{from: p.rank, flow: flow, payload: payload}
+	dup := false
+	link := &m.links[p.rank*len(m.procs)+to]
+	link.mu.Lock()
+	if f := cfg.Faults; link.rng != nil {
+		// Fixed draw schedule per send, so each link's fault sequence is a
+		// function of seed and send order alone: lossy messages always
+		// consume the drop and dup draws, every message consumes the
+		// jitter and pause draws its knobs enable.
+		if lossy {
+			msg.drop = f.DropProb > 0 && link.rng.Float64() < f.DropProb
+			dup = !msg.drop && f.DupProb > 0 && link.rng.Float64() < f.DupProb
+			if msg.drop && f.DupProb > 0 {
+				link.rng.Float64()
+			}
+		}
+		if f.JitterMax > 0 {
+			base += time.Duration(link.rng.Int63n(int64(f.JitterMax)))
+		}
+		if f.PauseProb > 0 && f.PauseMax > 0 && link.rng.Float64() < f.PauseProb {
+			msg.pause = time.Duration(link.rng.Int63n(int64(f.PauseMax)))
+		}
+	}
+	// Strictly monotone per-link arrival clamp: the destination heap
+	// dispatches by arrival time, so same-pair messages must never tie or
+	// reorder, whatever jitter and message sizes do to the raw latencies.
+	arrive := now.Add(base)
+	if !arrive.After(link.lastArrive) {
+		arrive = link.lastArrive.Add(time.Nanosecond)
+	}
+	link.lastArrive = arrive
+	link.mu.Unlock()
+	msg.arriveAt = arrive
+
+	dst := m.procs[to]
+	m.pending.Add(1)
+	dst.enqueueMessage(msg)
+	if dup {
+		// Wire-level duplicate: a second copy of the same payload and flow,
+		// carrying its own pending unit. The receiver's protocol (idempotent
+		// cache fills) must tolerate it.
+		copyMsg := msg
+		copyMsg.pause = 0
+		m.pending.Add(1)
+		dst.enqueueMessage(copyMsg)
+	}
+}
+
+// SendSelfAfter schedules payload to arrive on this process's own
+// dispatcher after delay, holding one quiescence pending unit until the
+// message is dispatched or canceled. The cache uses it for fetch retry
+// deadlines: an armed deadline keeps WaitQuiescence from declaring
+// quiescence while a lost fetch would otherwise leave parked traversals
+// stranded with no pending work anywhere.
+func (p *Proc) SendSelfAfter(delay time.Duration, payload any) *Delayed {
+	d := &Delayed{m: p.machine}
 	p.machine.pending.Add(1)
-	dst.enqueueMessage(message{from: p.rank, flow: flow, payload: payload, arriveAt: arrive})
+	p.enqueueMessage(message{from: p.rank, payload: payload, arriveAt: time.Now().Add(delay), delayed: d})
+	return d
+}
+
+// Delayed is the handle to a SendSelfAfter message. Exactly one of
+// delivery and Cancel retires the message's pending unit; the state CAS
+// decides the winner.
+type Delayed struct {
+	m     *Machine
+	state atomic.Int32 // 0 armed, 1 delivered, 2 canceled
+}
+
+// Cancel stops the delayed message if it has not yet been dispatched,
+// retiring its pending unit immediately; the dead entry is discarded when
+// the communication goroutine reaches it. Returns false when the message
+// already dispatched (or was canceled earlier).
+func (d *Delayed) Cancel() bool {
+	if d.state.CompareAndSwap(0, 2) {
+		d.m.pendingDone()
+		return true
+	}
+	return false
 }
 
 func (p *Proc) enqueueMessage(msg message) {
 	p.inboxMu.Lock()
-	p.inbox = append(p.inbox, msg)
+	msg.enq = p.enqSeq
+	p.enqSeq++
+	p.inbox.push(msg)
 	p.inboxMu.Unlock()
-	p.inboxCond.Signal()
+	p.notifyInbox()
+}
+
+// notifyInbox nudges the communication goroutine without blocking; the
+// capacity-1 channel coalesces bursts.
+func (p *Proc) notifyInbox() {
+	select {
+	case p.inboxNew <- struct{}{}:
+	default:
+	}
 }
 
 // Submit enqueues task on the currently least busy worker of this process
@@ -555,11 +794,6 @@ func (p *Proc) submitShared(workerID int, task func()) {
 	p.workers[workerID].push(task, false)
 }
 
-// wakeAll unblocks the comm goroutine so it can observe shutdown.
-func (p *Proc) wakeAll() {
-	p.inboxCond.Broadcast()
-}
-
 func (p *Proc) start(wg *sync.WaitGroup) {
 	wg.Add(1)
 	go p.commLoop(wg)
@@ -571,34 +805,148 @@ func (p *Proc) start(wg *sync.WaitGroup) {
 
 // commLoop receives messages, honors simulated arrival times, and invokes
 // the dispatcher. This goroutine is the analogue of the communication
-// thread of an SMP rank.
+// thread of an SMP rank. The inbox is a min-heap on arrival time, so an
+// undelivered message with a long latency never blocks already-arrived
+// messages from other senders; the loop sleeps only until the earliest
+// arrival and re-evaluates whenever a new message lands.
 func (p *Proc) commLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
+	m := p.machine
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	defer timer.Stop()
 	for {
 		p.inboxMu.Lock()
-		for len(p.inbox) == 0 && !p.machine.stop.Load() {
-			p.inboxCond.Wait()
-		}
-		if p.machine.stop.Load() {
+		if p.inbox.len() == 0 {
 			p.inboxMu.Unlock()
-			return
+			select {
+			case <-p.inboxNew:
+			case <-m.stopCh:
+				return
+			}
+			continue
 		}
-		msg := p.inbox[0]
-		p.inbox = p.inbox[1:]
-		p.inboxMu.Unlock()
-
+		msg := p.inbox.peek()
 		if wait := time.Until(msg.arriveAt); wait > 0 {
-			time.Sleep(wait)
+			p.inboxMu.Unlock()
+			// Drain a stale expiry before rearming, then wait for whichever
+			// comes first: the head's arrival, a new (possibly earlier)
+			// message, or shutdown.
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wait)
+			select {
+			case <-p.inboxNew:
+			case <-timer.C:
+			case <-m.stopCh:
+				return
+			}
+			continue
 		}
-		if fn := p.dispatcher.Load(); fn != nil {
-			dispatchStart := time.Now()
-			(*fn)(msg.from, msg.payload)
-			d := time.Since(dispatchStart)
-			p.commBusy.Add(int64(d))
-			p.machine.tracer.Emit(metrics.EvMsgRecv, "recv", p.rank, -1, msg.flow, dispatchStart, d)
-		}
-		p.machine.pending.Add(-1)
+		p.inbox.pop()
+		p.inboxMu.Unlock()
+		p.deliver(msg)
 	}
+}
+
+// deliver dispatches one arrived message on the communication goroutine:
+// canceled self-timers are discarded, injected pauses stall the goroutine,
+// injected drops are recorded and retired through the audited path, and
+// messages arriving before SetDispatcher are buffered rather than lost.
+func (p *Proc) deliver(msg message) {
+	m := p.machine
+	if msg.delayed != nil && !msg.delayed.state.CompareAndSwap(0, 1) {
+		return // canceled: Cancel already retired the pending unit
+	}
+	if msg.pause > 0 {
+		time.Sleep(msg.pause)
+	}
+	if msg.drop {
+		p.stats.Drops.Add(1)
+		if tr := m.tracer; tr != nil {
+			tr.Emit(metrics.EvDrop, "drop", p.rank, -1, msg.flow, time.Now(), 0)
+		}
+		m.pendingDone()
+		return
+	}
+	fn := p.dispatcher.Load()
+	if fn == nil {
+		p.preMu.Lock()
+		// Re-check under preMu: SetDispatcher stores the handler while
+		// holding it, so a message can never slip into the buffer after the
+		// drain.
+		if fn = p.dispatcher.Load(); fn == nil {
+			p.predispatch = append(p.predispatch, msg)
+			p.preMu.Unlock()
+			return // still pending: the message is buffered, not delivered
+		}
+		p.preMu.Unlock()
+	}
+	dispatchStart := time.Now()
+	(*fn)(msg.from, msg.payload)
+	d := time.Since(dispatchStart)
+	p.commBusy.Add(int64(d))
+	m.tracer.Emit(metrics.EvMsgRecv, "recv", p.rank, -1, msg.flow, dispatchStart, d)
+	m.pendingDone()
+}
+
+// msgHeap is a binary min-heap of in-flight messages ordered by
+// (arriveAt, enq). Per-link arrival times are strictly increasing (see
+// send's clamp), so heap order preserves per-sender-pair FIFO while
+// letting any already-arrived message overtake a delayed one.
+type msgHeap struct {
+	h []message
+}
+
+func (q *msgHeap) len() int      { return len(q.h) }
+func (q *msgHeap) peek() message { return q.h[0] }
+func (q *msgHeap) less(i, j int) bool {
+	if !q.h[i].arriveAt.Equal(q.h[j].arriveAt) {
+		return q.h[i].arriveAt.Before(q.h[j].arriveAt)
+	}
+	return q.h[i].enq < q.h[j].enq
+}
+
+func (q *msgHeap) push(msg message) {
+	q.h = append(q.h, msg)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *msgHeap) pop() message {
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = message{} // release payload references
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.h) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q.h) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
+	return top
 }
 
 // worker is one simulated core: it drains its own queues, steals from
@@ -738,7 +1086,7 @@ func (w *worker) run(wg *sync.WaitGroup) {
 		w.proc.machine.taskHist.Observe(int64(dur))
 		tr.Emit(metrics.EvTask, "task", w.proc.rank, w.id, 0, taskStart, dur)
 		w.proc.stats.TasksRun.Add(1)
-		w.proc.machine.pending.Add(-1)
+		w.proc.machine.pendingDone()
 	}
 }
 

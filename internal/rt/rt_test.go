@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"paratreet/internal/metrics"
 )
 
 func newStarted(t *testing.T, procs, workers int) *Machine {
@@ -91,8 +93,13 @@ func TestMessaging(t *testing.T) {
 	}
 }
 
-func TestSelfSendIsFreeButDispatched(t *testing.T) {
-	m := newStarted(t, 1, 1)
+func TestSelfSendIsCountedAndDispatched(t *testing.T) {
+	// Self-sends go through the same dispatch path as remote sends and must
+	// count in Stats exactly as they count in the communication matrix, so
+	// TotalStats and the matrix never disagree.
+	m := NewMachine(Config{Procs: 1, WorkersPerProc: 1, Metrics: metrics.NewRegistry(metrics.Options{})})
+	m.Start()
+	t.Cleanup(m.Stop)
 	var got atomic.Int64
 	m.Proc(0).SetDispatcher(func(from int, payload any) { got.Add(int64(payload.(int))) })
 	m.Proc(0).Send(0, 5, 100)
@@ -100,8 +107,19 @@ func TestSelfSendIsFreeButDispatched(t *testing.T) {
 	if got.Load() != 5 {
 		t.Error("self message not dispatched")
 	}
-	if s := m.TotalStats(); s.MessagesSent != 0 || s.BytesSent != 0 {
-		t.Error("self message should not count as communication")
+	s := m.TotalStats()
+	if s.MessagesSent != 1 || s.BytesSent != 100 {
+		t.Errorf("self message stats = %d msgs / %d bytes, want 1/100", s.MessagesSent, s.BytesSent)
+	}
+	snap := m.MetricsSnapshot()
+	var matrixMsgs, matrixBytes int64
+	for _, e := range snap.Comm {
+		matrixMsgs += e.Messages
+		matrixBytes += e.Bytes
+	}
+	if matrixMsgs != s.MessagesSent || matrixBytes != s.BytesSent {
+		t.Errorf("comm matrix (%d msgs, %d bytes) disagrees with stats (%d, %d)",
+			matrixMsgs, matrixBytes, s.MessagesSent, s.BytesSent)
 	}
 }
 

@@ -141,6 +141,9 @@ func TestResetStatsZeroesEverything(t *testing.T) {
 	m.Start()
 	defer m.Stop()
 
+	// A dispatcher is required before traffic: undispatchable messages are
+	// buffered (holding quiescence), no longer silently discarded.
+	m.Proc(1).SetDispatcher(func(from int, payload any) {})
 	done := make(chan struct{})
 	m.Proc(0).Submit(func() {
 		m.Proc(0).Send(1, "ping", 64)

@@ -155,7 +155,9 @@ func writeChromeTrace(w io.Writer, t *Trace) error {
 			switch e.Kind {
 			case metrics.EvFetch, metrics.EvMsgSend:
 				fp.src = flowEnd{ev: ce, set: true}
-			case metrics.EvFill, metrics.EvMsgRecv:
+			case metrics.EvFill, metrics.EvMsgRecv, metrics.EvDrop:
+				// A drop terminates its flow at the receiver, so the arrow
+				// shows where the message died.
 				if !fp.dst.set {
 					fp.dst = flowEnd{ev: ce, set: true}
 				}

@@ -106,7 +106,8 @@ func (t *Trace) AttributeWorkers() {
 	for i := range t.Events {
 		e := &t.Events[i]
 		if e.Worker != -1 || e.Kind == metrics.EvTask ||
-			e.Kind == metrics.EvMsgRecv || e.Kind == metrics.EvBarrier {
+			e.Kind == metrics.EvMsgRecv || e.Kind == metrics.EvBarrier ||
+			e.Kind == metrics.EvDrop || e.Kind == metrics.EvRetry {
 			continue
 		}
 		// Among candidate workers, pick the containing task with the

@@ -168,6 +168,10 @@ const (
 // StatsSnapshot is a copy of the runtime's communication counters.
 type StatsSnapshot = rt.StatsSnapshot
 
+// FaultConfig specifies deterministic message-delivery fault injection;
+// set it on Config.Faults. See rt.FaultConfig for field semantics.
+type FaultConfig = rt.FaultConfig
+
 // Observability layer (re-exported from internal/metrics). Construct a
 // registry with NewMetricsRegistry, set it on Config.Metrics, and read
 // results with Simulation.MetricsSnapshot.

@@ -21,6 +21,12 @@ go test ./...
 echo "==> go test -race -short"
 go test -race -short ./...
 
+echo "==> chaos (differential fault injection)"
+# The fault-injection differential gate: gravity and kNN results must be
+# unchanged by dropped/duplicated/jittered delivery (fixed seed inside the
+# tests), with the race detector watching the retry and drop-audit paths.
+go test -race -short -run 'TestChaos' .
+
 echo "==> trace pipeline"
 # End-to-end timeline check: a quick traced kNN run must produce a Chrome
 # trace the analyzer accepts (paratreet-trace exits nonzero on malformed
@@ -36,6 +42,23 @@ for section in summary gantt phases spans "fetch rtt" "critical path"; do
 	*"$section"*) ;;
 	*)
 		echo "trace report missing section: $section" >&2
+		exit 1
+		;;
+	esac
+done
+
+echo "==> faulted trace pipeline"
+# Same pipeline under injected faults: the trace must record the drop and
+# retry instants, proving the fault events flow into the exporter.
+go run ./cmd/paratreet-bench knn -quick -faults drop=0.05,dup=0.05,seed=7 \
+	-trace-out "$tracedir/faulted.json" -metrics-out "$tracedir/faulted-metrics.json" > /dev/null
+go run ./cmd/paratreet-trace validate "$tracedir/faulted.json"
+faulted="$(go run ./cmd/paratreet-trace report "$tracedir/faulted.json")"
+for kind in drop retry; do
+	case "$faulted" in
+	*"$kind"*) ;;
+	*)
+		echo "faulted trace report missing $kind events" >&2
 		exit 1
 		;;
 	esac

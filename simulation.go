@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"paratreet/internal/cache"
 	"paratreet/internal/core"
 	"paratreet/internal/lb"
 	"paratreet/internal/metrics"
@@ -74,6 +75,7 @@ func NewSimulation[D any](cfg Config, acc Accumulator[D], codec DataCodec[D], ps
 		Latency:        cfg.Latency,
 		PerByte:        cfg.PerByte,
 		Metrics:        cfg.Metrics,
+		Faults:         cfg.Faults,
 	})
 	world := core.NewWorld(m, core.Config{
 		TreeType:    cfg.Tree,
@@ -84,6 +86,7 @@ func NewSimulation[D any](cfg Config, acc Accumulator[D], codec DataCodec[D], ps
 		FetchDepth:  cfg.FetchDepth,
 		CachePolicy: cfg.CachePolicy,
 		ShareDepth:  cfg.ShareDepth,
+		Retry:       cache.RetryPolicy{Timeout: cfg.fetchTimeout()},
 	}, acc, codec)
 	m.Start()
 	return &Simulation[D]{cfg: cfg, machine: m, world: world, particles: ps}, nil
