@@ -382,6 +382,69 @@ func BenchmarkTreeBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkTreeBuildParallel measures the full standalone build pipeline
+// (key assignment, sort, octree construction, Data accumulation) at 100k
+// particles across a worker sweep. Workers=1 is the serial baseline
+// (comparison sort + geometric octant scan); workers>1 takes the
+// Cornerstone-style path (parallel radix sort + key-prefix search), which
+// is already faster single-threaded and scales with cores beyond that.
+func BenchmarkTreeBuildParallel(b *testing.B) {
+	const n = 100000
+	box := vec.UnitBox()
+	pristine := particle.NewClustered(n, 42, box, 8)
+	universe := particle.BoundingBox(pristine).Pad(1e-9).Cubed()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", workers), func(b *testing.B) {
+			scratch := make([]particle.Particle, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copy(scratch, pristine)
+				b.StartTimer()
+				if workers > 1 {
+					tree.AssignKeysParallel(scratch, universe, sfc.MortonKey, workers)
+				} else {
+					tree.AssignKeys(scratch, universe, sfc.MortonKey)
+				}
+				root := tree.Build[gravity.CentroidData](scratch, universe, tree.RootKey, 0,
+					tree.BuildConfig{Type: tree.Octree, BucketSize: benchBucket,
+						Workers: workers, MortonOrdered: workers > 1})
+				tree.AccumulateParallel[gravity.CentroidData](root, gravity.Accumulator{}, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkRadixSort measures the parallel LSD radix sort against the
+// comparison sort it replaces, at the build pipeline's scale.
+func BenchmarkRadixSort(b *testing.B) {
+	const n = 100000
+	box := vec.UnitBox()
+	pristine := particle.NewUniform(n, 42, box)
+	for i := range pristine {
+		pristine[i].Key = sfc.MortonKey(pristine[i].Pos, box)
+	}
+	scratch := make([]particle.Particle, n)
+	b.Run("stdsort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(scratch, pristine)
+			b.StartTimer()
+			particle.SortByKey(scratch)
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("radix/w=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copy(scratch, pristine)
+				b.StartTimer()
+				particle.RadixSortByKey(scratch, workers)
+			}
+		})
+	}
+}
+
 // BenchmarkDecomposition measures splitter finding per decomposition type.
 func BenchmarkDecomposition(b *testing.B) {
 	box := vec.UnitBox()

@@ -15,6 +15,12 @@ type Config struct {
 	// WorkersPerProc is the number of worker threads per process.
 	// Default 1.
 	WorkersPerProc int
+	// BuildWorkers is the goroutine budget each subtree build task may use
+	// for the Cornerstone-style parallel tree build (parallel key
+	// assignment and radix sort, prefix-search node construction,
+	// concurrent Data accumulation). 0 or 1 keeps the serial build. The
+	// resulting tree is identical to the serial build's.
+	BuildWorkers int
 
 	// Tree selects the tree type (TreeOct, TreeKD, TreeLongestDim).
 	Tree TreeType
@@ -88,7 +94,7 @@ func (c *Config) fetchTimeout() time.Duration {
 
 // Validate reports configuration errors.
 func (c *Config) Validate() error {
-	if c.Procs < 0 || c.WorkersPerProc < 0 {
+	if c.Procs < 0 || c.WorkersPerProc < 0 || c.BuildWorkers < 0 {
 		return fmt.Errorf("paratreet: negative machine dimensions")
 	}
 	if c.BucketSize < 0 || c.Partitions < 0 || c.Subtrees < 0 || c.FetchDepth < 0 {

@@ -76,7 +76,22 @@ type FillMsg struct {
 	Key  uint64
 	View int
 	Blob []byte
+	// buf is the pooled buffer backing Blob, recycled by the winning
+	// insert; nil for fills constructed outside HandleRequest (tests).
+	buf *fillBuf
 }
+
+// fillBuf is a pooled fill blob. The home process serializes into a
+// pooled buffer and ships it; ownership travels with the message, and
+// exactly one receiver-side path may recycle it: the insert that wins
+// the pending gate, after deserialization. Duplicated or stale fills
+// lose the gate before ever reading Blob, retried fetches serialize
+// into distinct buffers, and dropped deliveries simply leak the buffer
+// to the garbage collector — so a buffer can never be recycled twice or
+// recycled while still readable.
+type fillBuf struct{ data []byte }
+
+var fillBufPool = sync.Pool{New: func() any { return new(fillBuf) }}
 
 // RetryMsg is the cache's self-addressed fetch deadline, scheduled through
 // rt.Proc.SendSelfAfter when a request is issued. If the fill has not
@@ -470,11 +485,12 @@ func (c *Cache[D]) HandleRequest(msg RequestMsg) error {
 	if n == nil {
 		return fmt.Errorf("cache: request for unknown key %#x on rank %d", msg.Key, c.proc.Rank())
 	}
-	blob := tree.SerializeSubtree(n, c.fetchDepth, c.codec)
+	buf := fillBufPool.Get().(*fillBuf)
+	buf.data = tree.AppendSubtree(buf.data[:0], n, c.fetchDepth, c.codec)
 	st := c.proc.Stats()
 	st.NodesShipped.Add(int64(countShipped(n, c.fetchDepth)))
 	st.ParticlesShipped.Add(int64(countParticlesShipped(n, c.fetchDepth)))
-	c.proc.SendLossy(msg.Requester, FillMsg{Key: msg.Key, View: msg.View, Blob: blob}, len(blob))
+	c.proc.SendLossy(msg.Requester, FillMsg{Key: msg.Key, View: msg.View, Blob: buf.data, buf: buf}, len(buf.data))
 	c.proc.PhaseSince(rt.PhaseCacheRequest, start)
 	return nil
 }
@@ -548,6 +564,11 @@ func (c *Cache[D]) insert(msg FillMsg) bool {
 	fetched, err := tree.DeserializeSubtree(msg.Blob, c.treeType.LogB(), c.codec, c.localRoots)
 	if err != nil {
 		panic(fmt.Sprintf("cache: bad fill for key %#x: %v", msg.Key, err))
+	}
+	if msg.buf != nil {
+		// This insert won the pending gate and is done reading Blob;
+		// recycle the pooled buffer (see fillBuf for why exactly once).
+		fillBufPool.Put(msg.buf)
 	}
 	parent := ph.Parent
 	if parent == nil {

@@ -102,6 +102,10 @@ type Config struct {
 	// to every process during the top-share step (the paper's branch-node
 	// sharing hyperparameter). 0 shares only the root summaries.
 	ShareDepth int
+	// BuildWorkers is the goroutine budget for the parallel build path
+	// inside each subtree build task (and for key assignment/sorting).
+	// 0 or 1 selects the serial build.
+	BuildWorkers int
 	// Retry is the cache fetch deadline policy. The zero value disables
 	// retries; enable it whenever the machine injects message loss, or
 	// dropped fetch traffic would strand traversals.
@@ -253,7 +257,7 @@ func (w *World[D]) BuildIteration(ps []particle.Particle) error {
 
 	// 2. Key assignment and sort along the decomposition's curve.
 	curve := w.cfg.DecompType.Curve()
-	tree.AssignKeys(ps, universe, func(p vec.Vec3, b vec.Box) uint64 { return sfc.Key(curve, p, b) })
+	tree.AssignKeysParallel(ps, universe, func(p vec.Vec3, b vec.Box) uint64 { return sfc.Key(curve, p, b) }, w.cfg.BuildWorkers)
 
 	// 3. Partition decomposition (load): mark every particle.
 	if _, err := decomp.Assign(w.cfg.DecompType, ps, universe, w.cfg.Partitions); err != nil {
@@ -266,7 +270,7 @@ func (w *World[D]) BuildIteration(ps []particle.Particle) error {
 		// Octree subtrees need Morton keys; re-key if the partition
 		// decomposition used a different curve or reordered particles.
 		if curve != sfc.Morton || !particle.KeysSorted(ps) {
-			tree.AssignKeys(ps, universe, sfc.MortonKey)
+			tree.AssignKeysParallel(ps, universe, sfc.MortonKey, w.cfg.BuildWorkers)
 		}
 		splits = decomp.OctSplitters(ps, universe, w.cfg.Subtrees)
 	} else {
@@ -317,8 +321,13 @@ func (w *World[D]) BuildIteration(ps []particle.Particle) error {
 					Type:       w.cfg.TreeType,
 					BucketSize: w.cfg.BucketSize,
 					Owner:      int32(st.Owner),
+					Workers:    w.cfg.BuildWorkers,
+					// Subtree particles arrive Morton-sorted for octrees
+					// (step 4 re-keys if the decomposition curve differed),
+					// enabling the prefix-search partition.
+					MortonOrdered: w.cfg.TreeType == tree.Octree,
 				})
-				tree.Accumulate(st.Root, w.acc)
+				tree.AccumulateParallel(st.Root, w.acc, w.cfg.BuildWorkers)
 				w.Caches[st.Owner].RegisterLocal(st.Root)
 			})
 		})

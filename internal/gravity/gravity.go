@@ -161,6 +161,8 @@ func New(p Params) Visitor[CentroidData] {
 }
 
 // Open implements traverse.Visitor.
+//
+//paratreet:hotpath
 func (v Visitor[D]) Open(source *tree.Node[D], target *traverse.Bucket) bool {
 	data := v.Get(&source.Data)
 	if data.Mass == 0 {
@@ -175,6 +177,8 @@ func (v Visitor[D]) Open(source *tree.Node[D], target *traverse.Bucket) bool {
 }
 
 // Node implements traverse.Visitor: the multipole approximation.
+//
+//paratreet:hotpath
 func (v Visitor[D]) Node(source *tree.Node[D], target *traverse.Bucket) {
 	d := v.Get(&source.Data)
 	c := d.Centroid()
@@ -198,6 +202,8 @@ func (v Visitor[D]) Node(source *tree.Node[D], target *traverse.Bucket) {
 }
 
 // applyQuadrupole adds the traceless-quadrupole force and potential terms.
+//
+//paratreet:hotpath
 func applyQuadrupole(p *particle.Particle, dx vec.Vec3, q [6]float64, g, r2 float64) {
 	r := math.Sqrt(r2)
 	inv5 := 1 / (r2 * r2 * r)
@@ -216,7 +222,11 @@ func applyQuadrupole(p *particle.Particle, dx vec.Vec3, q [6]float64, g, r2 floa
 	p.Acc = p.Acc.Add(qd.Scale(-g * inv5)).Add(dx.Scale(2.5 * g * dQd * inv7))
 }
 
-// Leaf implements traverse.Visitor: exact pairwise interactions.
+// Leaf implements traverse.Visitor: exact pairwise interactions. The
+// inner loop is pure value arithmetic — no allocation, enforced by the
+// AllocsPerRun gate in gravity_alloc_test.go.
+//
+//paratreet:hotpath
 func (v Visitor[D]) Leaf(source *tree.Node[D], target *traverse.Bucket) {
 	eps2 := v.P.Soft * v.P.Soft
 	for i := range target.Particles {

@@ -1,0 +1,43 @@
+package gravity
+
+import (
+	"testing"
+
+	"paratreet/internal/particle"
+	"paratreet/internal/traverse"
+	"paratreet/internal/tree"
+	"paratreet/internal/vec"
+)
+
+// TestLeafKernelZeroAlloc gates the steady-state allocation behavior of
+// the gravity interaction kernels: with the tree built and buckets
+// attached, evaluating leaf-leaf (exact pairwise) and node (multipole)
+// interactions must never touch the allocator.
+func TestLeafKernelZeroAlloc(t *testing.T) {
+	box := vec.Box{Max: vec.Vec3{X: 1, Y: 1, Z: 1}}
+	src := particle.NewUniform(64, 1, box)
+	dst := particle.NewUniform(32, 2, box)
+
+	leaf := tree.NewNode[CentroidData](tree.ChildKey(tree.RootKey, 3, 3), 1, tree.KindLeaf, 0)
+	leaf.Box = box.OctantBox(3)
+	leaf.Particles = src
+	leaf.NParticles = len(src)
+	leaf.Data = Accumulator{}.FromLeaf(src, leaf.Box)
+
+	bucket := &traverse.Bucket{Key: tree.ChildKey(tree.RootKey, 0, 3), Box: box.OctantBox(0), Particles: dst}
+
+	for _, quad := range []bool{false, true} {
+		par := DefaultParams()
+		par.Quadrupole = quad
+		v := New(par)
+		if got := testing.AllocsPerRun(200, func() { v.Leaf(leaf, bucket) }); got != 0 {
+			t.Errorf("Leaf kernel (quad=%v): %v allocs/run, want 0", quad, got)
+		}
+		if got := testing.AllocsPerRun(200, func() { v.Node(leaf, bucket) }); got != 0 {
+			t.Errorf("Node kernel (quad=%v): %v allocs/run, want 0", quad, got)
+		}
+		if got := testing.AllocsPerRun(200, func() { v.Open(leaf, bucket) }); got != 0 {
+			t.Errorf("Open (quad=%v): %v allocs/run, want 0", quad, got)
+		}
+	}
+}

@@ -64,10 +64,13 @@ type heap struct {
 	items []Neighbor
 }
 
+//paratreet:hotpath
 func (h *heap) full() bool { return len(h.items) >= h.k }
 
 // bound returns the current search radius squared: +Inf until k candidates
 // are held, then the k-th smallest distance.
+//
+//paratreet:hotpath
 func (h *heap) bound() float64 {
 	if !h.full() {
 		return math.Inf(1)
@@ -75,6 +78,11 @@ func (h *heap) bound() float64 {
 	return h.items[0].DistSq
 }
 
+// push inserts a candidate, evicting the current k-th nearest when full.
+// Attach pre-sizes items to capacity k, so push never allocates — the
+// property the AllocsPerRun gate in knn_alloc_test.go enforces.
+//
+//paratreet:hotpath
 func (h *heap) push(n Neighbor) {
 	if h.full() {
 		if n.DistSq >= h.items[0].DistSq {
@@ -96,6 +104,7 @@ func (h *heap) push(n Neighbor) {
 	}
 }
 
+//paratreet:hotpath
 func (h *heap) siftDown(i int) {
 	n := len(h.items)
 	for {
@@ -121,12 +130,26 @@ type State struct {
 }
 
 // Attach initializes kNN state on every bucket; call before launching the
-// traversal.
+// traversal. Heap storage is preallocated to capacity k so the search
+// kernel never touches the allocator, and a State already attached to the
+// bucket (a prior iteration over retained buckets) is reset and reused
+// instead of reallocated.
 func Attach(buckets []*traverse.Bucket, k int) {
 	for _, b := range buckets {
-		st := &State{Heaps: make([]heap, len(b.Particles))}
+		st, ok := b.State.(*State)
+		if !ok || cap(st.Heaps) < len(b.Particles) {
+			st = &State{Heaps: make([]heap, len(b.Particles))}
+		} else {
+			st.Heaps = st.Heaps[:len(b.Particles)]
+		}
 		for i := range st.Heaps {
-			st.Heaps[i].k = k
+			h := &st.Heaps[i]
+			h.k = k
+			if cap(h.items) < k {
+				h.items = make([]Neighbor, 0, k)
+			} else {
+				h.items = h.items[:0]
+			}
 		}
 		b.State = st
 	}
@@ -183,6 +206,8 @@ func (v Visitor) Node(source *tree.Node[Data], target *traverse.Bucket) {}
 
 // Leaf implements traverse.Visitor: try every source particle against
 // every target heap.
+//
+//paratreet:hotpath
 func (v Visitor) Leaf(source *tree.Node[Data], target *traverse.Bucket) {
 	st := target.State.(*State)
 	for i := range target.Particles {

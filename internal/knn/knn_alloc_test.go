@@ -1,0 +1,85 @@
+package knn
+
+import (
+	"testing"
+
+	"paratreet/internal/particle"
+	"paratreet/internal/traverse"
+	"paratreet/internal/tree"
+	"paratreet/internal/vec"
+)
+
+// TestHeapUpdateZeroAlloc gates the kNN search kernel: with heaps
+// preallocated to capacity k by Attach, the heap-update path (push with
+// growth, eviction, and sift) and the Open pruning test must never touch
+// the allocator — including the very first pass that fills the heaps.
+func TestHeapUpdateZeroAlloc(t *testing.T) {
+	box := vec.Box{Max: vec.Vec3{X: 1, Y: 1, Z: 1}}
+	src := particle.NewUniform(64, 3, box)
+	dst := particle.NewUniform(32, 4, box)
+	const k = 8
+
+	leaf := tree.NewNode[Data](tree.ChildKey(tree.RootKey, 5, 3), 1, tree.KindLeaf, 0)
+	leaf.Box = box.OctantBox(5)
+	leaf.Particles = src
+	leaf.NParticles = len(src)
+	leaf.Data = Accumulator{}.FromLeaf(src, leaf.Box)
+
+	bucket := &traverse.Bucket{Key: tree.ChildKey(tree.RootKey, 0, 3), Box: box.OctantBox(0), Particles: dst}
+	buckets := []*traverse.Bucket{bucket}
+	Attach(buckets, k)
+
+	v := Visitor{K: k, ExcludeSelf: true}
+	i := 0
+	kernel := func() {
+		// Shift the source cloud a little every run so distances change
+		// and pushes keep exercising the eviction/sift path, not just the
+		// equal-distance early return.
+		i++
+		delta := float64(i%7-3) * 1e-3
+		for j := range src {
+			src[j].Pos.X += delta
+		}
+		v.Leaf(leaf, bucket)
+	}
+	if got := testing.AllocsPerRun(200, kernel); got != 0 {
+		t.Errorf("heap-update kernel: %v allocs/run, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() { v.Open(leaf, bucket) }); got != 0 {
+		t.Errorf("Open: %v allocs/run, want 0", got)
+	}
+}
+
+// TestAttachReuse checks that re-attaching state to the same buckets (the
+// retained-bucket path) reuses the existing heap storage instead of
+// reallocating, and still resets the search state.
+func TestAttachReuse(t *testing.T) {
+	box := vec.Box{Max: vec.Vec3{X: 1, Y: 1, Z: 1}}
+	dst := particle.NewUniform(16, 5, box)
+	bucket := &traverse.Bucket{Box: box, Particles: dst}
+	buckets := []*traverse.Bucket{bucket}
+	const k = 4
+
+	Attach(buckets, k)
+	st := bucket.State.(*State)
+	st.Heaps[0].push(Neighbor{DistSq: 1, ID: 42})
+	if len(st.Heaps[0].items) != 1 {
+		t.Fatalf("setup: expected one neighbor, got %d", len(st.Heaps[0].items))
+	}
+
+	if got := testing.AllocsPerRun(20, func() { Attach(buckets, k) }); got != 0 {
+		t.Errorf("re-Attach: %v allocs/run, want 0", got)
+	}
+	st2 := bucket.State.(*State)
+	if st2 != st {
+		t.Error("re-Attach replaced the State instead of reusing it")
+	}
+	if len(st2.Heaps[0].items) != 0 {
+		t.Error("re-Attach did not reset heap contents")
+	}
+	for i := range st2.Heaps {
+		if cap(st2.Heaps[i].items) < k {
+			t.Fatalf("heap %d capacity %d < k=%d", i, cap(st2.Heaps[i].items), k)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package particle
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Radix sort of particles by SFC key (Cornerstone-style: Keller et al.
+// 2023 build the octree from radix-sorted Morton keys). The sort runs
+// LSD byte passes over compact (key, index) pairs rather than whole
+// Particle structs — a Particle is ~20x larger than a pair, so sorting
+// pairs and permuting once keeps the memory traffic per pass small —
+// and parallelizes each pass with the classic histogram / prefix-sum /
+// scatter decomposition: every worker histograms its chunk, a serial
+// scan turns the per-worker histograms into disjoint output cursors,
+// and workers scatter their chunks without further coordination.
+//
+// The result matches SortByKey exactly: ascending Key, ties broken by
+// ascending ID (byte passes are stable, and a final pass re-orders the
+// rare equal-key runs by ID).
+
+// keyIdx pairs a particle's sort key with its original index.
+type keyIdx struct {
+	key uint64
+	idx int32
+}
+
+// radixSerialCutoff is the size below which the parallel machinery costs
+// more than it saves; such inputs take the serial byte-pass path.
+const radixSerialCutoff = 1 << 12
+
+// RadixSortByKey sorts ps ascending by (Key, ID) — the same order as
+// SortByKey — using an LSD radix sort on the 63-bit SFC keys, with up to
+// workers goroutines cooperating on each pass (workers <= 1, or small
+// inputs, sort serially). It allocates transient pair and permutation
+// buffers sized to len(ps).
+func RadixSortByKey(ps []Particle, workers int) {
+	n := len(ps)
+	if n < 2 {
+		return
+	}
+	pairs := make([]keyIdx, n)
+	for i := range ps {
+		pairs[i] = keyIdx{key: ps[i].Key, idx: int32(i)}
+	}
+	scratch := make([]keyIdx, n)
+	if workers > n/radixSerialCutoff {
+		workers = n / radixSerialCutoff
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		radixPassesSerial(pairs, scratch)
+	} else {
+		radixPassesParallel(pairs, scratch, workers)
+	}
+	// Permute the particles through a scratch copy in one pass.
+	out := make([]Particle, n)
+	for i := range pairs {
+		out[i] = ps[pairs[i].idx]
+	}
+	copy(ps, out)
+	fixEqualKeyRuns(ps)
+}
+
+// usedBytes reports which of the 8 key bytes actually vary across the
+// input; constant bytes need no pass. SFC keys occupy 63 bits, and most
+// datasets leave the high bytes constant after the leading levels.
+//
+//paratreet:hotpath
+func usedBytes(pairs []keyIdx) [8]bool {
+	var lo, hi uint64
+	lo = ^uint64(0)
+	for i := range pairs {
+		k := pairs[i].key
+		lo &= k
+		hi |= k
+	}
+	diff := lo ^ hi
+	var used [8]bool
+	for b := 0; b < 8; b++ {
+		used[b] = diff>>(8*uint(b))&0xff != 0
+	}
+	return used
+}
+
+// radixPassesSerial runs the needed byte passes on one goroutine.
+//
+//paratreet:hotpath
+func radixPassesSerial(pairs, scratch []keyIdx) {
+	used := usedBytes(pairs)
+	src, dst := pairs, scratch
+	for b := 0; b < 8; b++ {
+		if !used[b] {
+			continue
+		}
+		shift := 8 * uint(b)
+		var counts [256]int
+		for i := range src {
+			counts[src[i].key>>shift&0xff]++
+		}
+		sum := 0
+		for v := 0; v < 256; v++ {
+			c := counts[v]
+			counts[v] = sum
+			sum += c
+		}
+		for i := range src {
+			v := src[i].key >> shift & 0xff
+			dst[counts[v]] = src[i]
+			counts[v]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &pairs[0] {
+		copy(pairs, src)
+	}
+}
+
+// radixPassesParallel runs the needed byte passes with workers goroutines
+// per pass: parallel histogram, serial 256*workers prefix scan, parallel
+// scatter into disjoint output regions.
+func radixPassesParallel(pairs, scratch []keyIdx, workers int) {
+	n := len(pairs)
+	used := usedBytes(pairs)
+	counts := make([][256]int, workers)
+	chunk := (n + workers - 1) / workers
+	src, dst := pairs, scratch
+	var wg sync.WaitGroup
+	for b := 0; b < 8; b++ {
+		if !used[b] {
+			continue
+		}
+		shift := 8 * uint(b)
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				c := &counts[w]
+				*c = [256]int{}
+				for i := lo; i < hi; i++ {
+					c[src[i].key>>shift&0xff]++
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		// Column-major scan: all workers' counts for value v precede any
+		// worker's count for v+1, giving each (value, worker) cell a
+		// disjoint output cursor.
+		sum := 0
+		for v := 0; v < 256; v++ {
+			for w := 0; w < workers; w++ {
+				c := counts[w][v]
+				counts[w][v] = sum
+				sum += c
+			}
+		}
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				c := &counts[w]
+				for i := lo; i < hi; i++ {
+					v := src[i].key >> shift & 0xff
+					dst[c[v]] = src[i]
+					c[v]++
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		src, dst = dst, src
+	}
+	if &src[0] != &pairs[0] {
+		copy(pairs, src)
+	}
+}
+
+// fixEqualKeyRuns re-orders runs of equal keys by ascending ID so the
+// final order matches SortByKey bit for bit. Equal keys mean co-located
+// particles (same 63-bit lattice cell); runs are short, so an insertion
+// sort per run suffices and allocates nothing.
+//
+//paratreet:hotpath
+func fixEqualKeyRuns(ps []Particle) {
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Key != ps[i-1].Key {
+			continue
+		}
+		// Found a run start at i-1; extend it.
+		j := i + 1
+		for j < len(ps) && ps[j].Key == ps[i-1].Key {
+			j++
+		}
+		insertionByID(ps[i-1 : j])
+		i = j
+	}
+}
+
+// insertionByID sorts a small slice ascending by ID in place.
+//
+//paratreet:hotpath
+func insertionByID(ps []Particle) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].ID < ps[j-1].ID; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

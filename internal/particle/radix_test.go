@@ -1,0 +1,154 @@
+package particle_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"paratreet/internal/particle"
+	"paratreet/internal/sfc"
+	"paratreet/internal/vec"
+)
+
+// keyed returns ps with SFC keys assigned for the given curve over the
+// cloud's bounding box (grown slightly so boundary particles quantize
+// inside it, matching how AssignKeys is used by the build pipeline).
+func keyed(ps []particle.Particle, curve sfc.Curve) []particle.Particle {
+	box := vec.EmptyBox()
+	for i := range ps {
+		box = box.Grow(ps[i].Pos)
+	}
+	for i := range ps {
+		ps[i].Key = sfc.Key(curve, ps[i].Pos, box)
+	}
+	return ps
+}
+
+// assertSortedMatch verifies ps is in exactly the order SortByKey would
+// produce — ascending key, ties broken by ascending ID — by comparing
+// against a sort.Slice reference on a copy.
+func assertSortedMatch(t *testing.T, got, orig []particle.Particle) {
+	t.Helper()
+	want := particle.Clone(orig)
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].Key != want[j].Key {
+			return want[i].Key < want[j].Key
+		}
+		return want[i].ID < want[j].ID
+	})
+	if len(got) != len(want) {
+		t.Fatalf("length changed: got %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Key != want[i].Key {
+			t.Fatalf("order diverges at %d: got (key=%x id=%d) want (key=%x id=%d)",
+				i, got[i].Key, got[i].ID, want[i].Key, want[i].ID)
+		}
+	}
+}
+
+func TestRadixSortMatchesSortByKey(t *testing.T) {
+	box := vec.Box{Max: vec.Vec3{X: 1, Y: 1, Z: 1}}
+	clouds := map[string][]particle.Particle{
+		"uniform-small":  particle.NewUniform(257, 1, box),
+		"uniform-large":  particle.NewUniform(20000, 2, box),
+		"plummer":        particle.NewPlummer(12000, 3, vec.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, 0.1),
+		"clustered":      particle.NewClustered(8000, 4, box, 5),
+		"empty":          nil,
+		"single":         particle.NewUniform(1, 5, box),
+		"two":            particle.NewUniform(2, 6, box),
+		"already-sorted": keyed(particle.NewUniform(5000, 7, box), sfc.Morton),
+	}
+	// Duplicate keys: co-locate particles so equal-key runs exist and the
+	// ID tie-break path is exercised.
+	dup := particle.NewUniform(4096, 8, box)
+	for i := range dup {
+		dup[i].Pos = dup[i%7].Pos
+	}
+	clouds["duplicate-keys"] = dup
+
+	for name, cloud := range clouds {
+		for _, curve := range []sfc.Curve{sfc.Morton, sfc.Hilbert} {
+			for _, workers := range []int{1, 2, 4, 8} {
+				ps := keyed(particle.Clone(cloud), curve)
+				if name == "already-sorted" {
+					particle.SortByKey(ps)
+				}
+				orig := particle.Clone(ps)
+				particle.RadixSortByKey(ps, workers)
+				assertSortedMatch(t, ps, orig)
+				if !particle.KeysSorted(ps) {
+					t.Fatalf("%s/%v/w=%d: KeysSorted false after radix sort", name, curve, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestRadixSortAdversarialKeys hits byte patterns the generator clouds
+// rarely produce: all-equal, descending, and high-byte-only variation.
+func TestRadixSortAdversarialKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	mk := func(keys []uint64) []particle.Particle {
+		ps := make([]particle.Particle, len(keys))
+		for i, k := range keys {
+			ps[i] = particle.Particle{ID: int64(len(keys) - i), Key: k}
+		}
+		return ps
+	}
+	cases := map[string][]uint64{
+		"all-equal": make([]uint64, 1000),
+		"descending": func() []uint64 {
+			ks := make([]uint64, 1000)
+			for i := range ks {
+				ks[i] = uint64(1000 - i)
+			}
+			return ks
+		}(),
+		"high-bytes": func() []uint64 {
+			ks := make([]uint64, 1000)
+			for i := range ks {
+				ks[i] = uint64(rng.Intn(4)) << 56
+			}
+			return ks
+		}(),
+		"random-63": func() []uint64 {
+			ks := make([]uint64, 3000)
+			for i := range ks {
+				ks[i] = rng.Uint64() >> 1
+			}
+			return ks
+		}(),
+	}
+	for name, keys := range cases {
+		for _, workers := range []int{1, 4} {
+			ps := mk(keys)
+			orig := particle.Clone(ps)
+			particle.RadixSortByKey(ps, workers)
+			if len(ps) > 0 {
+				assertSortedMatch(t, ps, orig)
+			}
+			_ = name
+		}
+	}
+}
+
+// FuzzRadixSort checks the radix order against sort.Slice for arbitrary
+// key bytes and worker counts.
+func FuzzRadixSort(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 255}, uint8(4))
+	f.Add([]byte{}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, workers uint8) {
+		ps := make([]particle.Particle, 0, len(data)/2+1)
+		for i := 0; i+1 < len(data); i += 2 {
+			// Spread the two fuzz bytes across low and high key bytes so
+			// multiple radix passes see variation.
+			k := uint64(data[i]) | uint64(data[i+1])<<33
+			ps = append(ps, particle.Particle{ID: int64(i), Key: k})
+		}
+		orig := particle.Clone(ps)
+		particle.RadixSortByKey(ps, int(workers%9))
+		assertSortedMatch(t, ps, orig)
+	})
+}

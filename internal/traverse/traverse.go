@@ -181,6 +181,11 @@ type Traversal[D any, V Visitor[D]] struct {
 	stack   []frame[D] // guarded by mu
 	running atomic.Bool
 
+	// arena backs the frames' active lists. Mutated only while seeding
+	// (before Start submits work) and inside process (under the actor
+	// pump), released when outstanding reaches zero.
+	arena i32Arena
+
 	outstanding atomic.Int64
 	onDone      func()
 
@@ -210,12 +215,12 @@ func (t *Traversal[D, V]) Start() {
 	root := t.cache.Root(t.viewID)
 	if t.style == PerBucket {
 		for i := range t.buckets {
-			t.push(frame[D]{node: root, active: []int32{int32(i)}})
+			t.push(frame[D]{node: root, active: append(t.arena.alloc(1), int32(i))})
 		}
 	} else {
-		active := make([]int32, len(t.buckets))
-		for i := range active {
-			active[i] = int32(i)
+		active := t.arena.alloc(len(t.buckets))
+		for i := range t.buckets {
+			active = append(active, int32(i))
 		}
 		t.push(frame[D]{node: root, active: active})
 	}
@@ -296,8 +301,13 @@ func (t *Traversal[D, V]) pump() {
 //
 //paratreet:hotpath
 func (t *Traversal[D, V]) finishFrame() {
-	if t.outstanding.Add(-1) == 0 && t.onDone != nil {
-		t.onDone()
+	if t.outstanding.Add(-1) == 0 {
+		// No frame (running or parked) can reference arena memory now;
+		// return the slabs before signaling completion.
+		t.arena.release()
+		if t.onDone != nil {
+			t.onDone()
+		}
 	}
 }
 
@@ -322,7 +332,7 @@ func (t *Traversal[D, V]) process(f frame[D]) {
 	case kind == tree.KindRemoteLeaf:
 		// Data known, particles absent: evaluate open() per bucket; only
 		// buckets that open need the particles fetched.
-		var need []int32
+		need := t.arena.alloc(len(f.active))
 		for _, bi := range f.active {
 			b := t.buckets[bi]
 			if t.visitor.Open(n, b) {
@@ -358,7 +368,7 @@ func (t *Traversal[D, V]) process(f frame[D]) {
 		}
 
 	default: // internal (local, cached, or shared top node)
-		var remain []int32
+		remain := t.arena.alloc(len(f.active))
 		for _, bi := range f.active {
 			b := t.buckets[bi]
 			if t.visitor.Open(n, b) {

@@ -49,7 +49,7 @@ func (u *UpDown[D, V]) Start() {
 // that are remote are pushed as ordinary frames (the engine pauses there
 // and, once fetched, Open/descend handles the rest).
 func (u *UpDown[D, V]) seedBucket(bi int32, logB uint) {
-	active := []int32{bi}
+	active := append(u.arena.alloc(1), bi)
 	node := u.cache.Root(u.viewID)
 	key := u.buckets[bi].Key
 	level := tree.KeyLevel(key, logB)

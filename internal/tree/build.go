@@ -65,6 +65,16 @@ type BuildConfig struct {
 	MaxDepth int
 	// Owner is stamped on every built node.
 	Owner int32
+	// Workers sets the goroutine budget for the parallel build path; 0 or
+	// 1 builds serially. The parallel build produces a tree identical to
+	// the serial one (see parallel.go).
+	Workers int
+	// MortonOrdered asserts the input particles carry Morton keys for the
+	// build box and arrive sorted by them. The parallel octree path then
+	// derives octant boundaries by key-prefix binary search instead of
+	// scanning positions (Cornerstone-style). Ignored by the serial path
+	// and by non-octree types.
+	MortonOrdered bool
 }
 
 func (c *BuildConfig) withDefaults() BuildConfig {
@@ -93,6 +103,9 @@ func (c *BuildConfig) withDefaults() BuildConfig {
 // per-node when violated. Median trees reorder freely via quickselect.
 func Build[D any](ps []particle.Particle, box vec.Box, rootKey uint64, rootLevel int, cfg BuildConfig) *Node[D] {
 	c := cfg.withDefaults()
+	if c.Workers > 1 {
+		return buildParallel[D](ps, box, rootKey, rootLevel, &c)
+	}
 	return build[D](ps, box, rootKey, rootLevel, 0, &c)
 }
 

@@ -1,0 +1,220 @@
+package tree
+
+import (
+	"sort"
+	"testing"
+
+	"paratreet/internal/particle"
+	"paratreet/internal/sfc"
+	"paratreet/internal/vec"
+)
+
+// assertTreesEqual walks two trees in lockstep and fails on the first
+// structural or content difference: key, level, kind, box, particle
+// count, bucket contents (IDs in order), and exact Data equality.
+func assertTreesEqual(t *testing.T, label string, a, b *Node[countData]) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: nil mismatch: %v vs %v", label, a, b)
+	}
+	if a == nil {
+		return
+	}
+	if a.Key != b.Key || a.Level != b.Level || a.Kind() != b.Kind() {
+		t.Fatalf("%s: node mismatch: %v vs %v", label, a, b)
+	}
+	if a.NParticles != b.NParticles {
+		t.Fatalf("%s: key %#x: NParticles %d vs %d", label, a.Key, a.NParticles, b.NParticles)
+	}
+	if a.Box != b.Box {
+		t.Fatalf("%s: key %#x: box %v vs %v", label, a.Key, a.Box, b.Box)
+	}
+	if a.Data != b.Data {
+		t.Fatalf("%s: key %#x: data %+v vs %+v", label, a.Key, a.Data, b.Data)
+	}
+	if len(a.Particles) != len(b.Particles) {
+		t.Fatalf("%s: key %#x: bucket size %d vs %d", label, a.Key, len(a.Particles), len(b.Particles))
+	}
+	for i := range a.Particles {
+		if a.Particles[i].ID != b.Particles[i].ID {
+			t.Fatalf("%s: key %#x: bucket[%d] ID %d vs %d",
+				label, a.Key, i, a.Particles[i].ID, b.Particles[i].ID)
+		}
+	}
+	if a.NumChildren() != b.NumChildren() {
+		t.Fatalf("%s: key %#x: children %d vs %d", label, a.Key, a.NumChildren(), b.NumChildren())
+	}
+	for i := 0; i < a.NumChildren(); i++ {
+		assertTreesEqual(t, label, a.Child(i), b.Child(i))
+	}
+}
+
+// TestParallelBuildDifferential checks the tentpole equivalence claim:
+// across the tree-type x curve x leaf-size crossproduct on seeded uniform
+// and Plummer clouds, the parallel build (including the parallel key
+// assignment, radix sort, and in-order AccumulateParallel) produces a
+// tree identical to the serial path, Data bits included.
+func TestParallelBuildDifferential(t *testing.T) {
+	unit := vec.Box{Max: vec.Vec3{X: 1, Y: 1, Z: 1}}
+	clouds := map[string][]particle.Particle{
+		"uniform": particle.NewUniform(20000, 11, unit),
+		"plummer": particle.NewPlummer(12000, 12, vec.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, 0.12),
+	}
+	buckets := []int{1, 8, 64}
+	workersList := []int{2, 8}
+	if testing.Short() {
+		buckets = []int{8}
+		workersList = []int{4}
+	}
+	for dist, cloud := range clouds {
+		// Universe = the cloud's bounding box, as the build pipeline
+		// computes it (Plummer tails extend beyond the unit box).
+		box := vec.EmptyBox()
+		for i := range cloud {
+			box = box.Grow(cloud[i].Pos)
+		}
+		for _, typ := range []Type{Octree, KD, LongestDim} {
+			for _, curve := range []sfc.Curve{sfc.Morton, sfc.Hilbert} {
+				keyFn := func(p vec.Vec3, b vec.Box) uint64 { return sfc.Key(curve, p, b) }
+				for _, bucket := range buckets {
+					for _, workers := range workersList {
+						label := dist + "/" + typ.String() + "/" + curve.String()
+						ser := particle.Clone(cloud)
+						AssignKeys(ser, box, keyFn)
+						sroot := Build[countData](ser, box, RootKey, 0,
+							BuildConfig{Type: typ, BucketSize: bucket})
+						Accumulate(sroot, countAcc{})
+
+						par := particle.Clone(cloud)
+						AssignKeysParallel(par, box, keyFn, workers)
+						proot := Build[countData](par, box, RootKey, 0, BuildConfig{
+							Type: typ, BucketSize: bucket, Workers: workers,
+							MortonOrdered: typ == Octree && curve == sfc.Morton,
+						})
+						AccumulateParallel(proot, countAcc{}, workers)
+
+						assertTreesEqual(t, label, sroot, proot)
+						if err := Validate(proot, typ, 0); err != nil {
+							t.Fatalf("%s: parallel tree invalid: %v", label, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBuildSubtreeRoot checks the paths used by the
+// Partitions-Subtrees pipeline: building from a non-root key/level (a
+// subtree's piece of the global tree) must also match serial.
+func TestParallelBuildSubtreeRoot(t *testing.T) {
+	box := vec.Box{Max: vec.Vec3{X: 1, Y: 1, Z: 1}}
+	ps := uniformSorted(30000, 13, box)
+	// Partition the root's octants the way core.go splits subtrees.
+	bounds := prefixPartition(ps, RootKey, 0)
+	for oct := 0; oct < 8; oct++ {
+		sub := ps[bounds[oct]:bounds[oct+1]]
+		key := ChildKey(RootKey, oct, 3)
+		obox := box.OctantBox(oct)
+		ser := particle.Clone(sub)
+		sroot := Build[countData](ser, obox, key, 1, BuildConfig{BucketSize: 8})
+		par := particle.Clone(sub)
+		proot := Build[countData](par, obox, key, 1,
+			BuildConfig{BucketSize: 8, Workers: 4, MortonOrdered: true})
+		Accumulate(sroot, countAcc{})
+		AccumulateParallel(proot, countAcc{}, 4)
+		assertTreesEqual(t, "subtree", sroot, proot)
+	}
+}
+
+// TestPrefixPartitionCellBox is the boundary property test: every octant
+// range that prefixPartition derives holds exactly the particles whose
+// Morton triplet at that level names the octant, the derived child cell
+// box (sfc.CellBox) contains those particles' positions (up to one
+// quantization ulp, hence the pad), and the geometric node box equals
+// the SFC cell box when building from the universe root.
+func TestPrefixPartitionCellBox(t *testing.T) {
+	box := vec.Box{Max: vec.Vec3{X: 1, Y: 1, Z: 1}}
+	ps := uniformSorted(20000, 17, box)
+	root := Build[countData](ps, box, RootKey, 0,
+		BuildConfig{BucketSize: 16, Workers: 4, MortonOrdered: true})
+	pad := 1e-12
+	nodes := 0
+	Walk(root, func(n *Node[countData]) bool {
+		if n.Level > sfc.Bits {
+			return true
+		}
+		prefix := mortonPrefix(n.Key, n.Level)
+		cell := sfc.CellBox(prefix, n.Level, box)
+		if n.Box != cell {
+			t.Fatalf("key %#x level %d: geometric box %v != cell box %v", n.Key, n.Level, n.Box, cell)
+		}
+		padded := cell.Pad(pad)
+		shift := 3 * uint(sfc.Bits-n.Level)
+		forEachParticle(n, func(p *particle.Particle) {
+			if n.Level > 0 && p.Key>>shift != prefix>>shift {
+				t.Fatalf("key %#x level %d: particle %d key %#x outside prefix %#x",
+					n.Key, n.Level, p.ID, p.Key, prefix)
+			}
+			if !padded.Contains(p.Pos) {
+				t.Fatalf("key %#x level %d: particle %d pos %v outside cell %v",
+					n.Key, n.Level, p.ID, p.Pos, cell)
+			}
+		})
+		nodes++
+		return true
+	})
+	if nodes < 9 {
+		t.Fatalf("walked only %d nodes; tree did not subdivide", nodes)
+	}
+}
+
+func forEachParticle[D any](n *Node[D], fn func(*particle.Particle)) {
+	Walk(n, func(m *Node[D]) bool {
+		for i := range m.Particles {
+			fn(&m.Particles[i])
+		}
+		return true
+	})
+}
+
+// FuzzPrefixPartition feeds arbitrary sorted key sets through
+// prefixPartition at every level and cross-checks the boundaries against
+// a direct triplet scan.
+func FuzzPrefixPartition(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(0))
+	f.Add([]byte{255, 254, 1, 0}, uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, lvl uint8) {
+		level := int(lvl) % sfc.Bits
+		// Build a sorted key slice confined to one level-`level` cell so
+		// the node's prefix is consistent: take the cell at path 0...0.
+		key := RootKey << (3 * uint(level)) // path of all-zero triplets
+		ps := make([]particle.Particle, 0, len(data))
+		shift := 3 * uint(sfc.Bits-level)
+		for i, b := range data {
+			// Scatter fuzz bytes into the sub-prefix bits below the node.
+			sub := uint64(b) << (3 * uint(sfc.Bits-level-1)) >> 8 << 8
+			sub |= uint64(b)
+			if shift < 64 {
+				sub &= 1<<shift - 1
+			}
+			ps = append(ps, particle.Particle{ID: int64(i), Key: sub})
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Key < ps[j].Key })
+		bounds := prefixPartition(ps, key, level)
+		if bounds[0] != 0 || bounds[8] != len(ps) {
+			t.Fatalf("bounds do not span input: %v", bounds)
+		}
+		cshift := 3 * uint(sfc.Bits-level-1)
+		for oct := 0; oct < 8; oct++ {
+			if bounds[oct] > bounds[oct+1] {
+				t.Fatalf("bounds not monotonic: %v", bounds)
+			}
+			for _, p := range ps[bounds[oct]:bounds[oct+1]] {
+				if got := int(p.Key >> cshift & 7); got != oct {
+					t.Fatalf("key %#x in octant range %d has triplet %d (bounds %v)", p.Key, oct, got, bounds)
+				}
+			}
+		}
+	})
+}

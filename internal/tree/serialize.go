@@ -26,11 +26,18 @@ type DataCodec[D any] interface {
 // are shipped with data but their children are left for the receiver to
 // represent as placeholders. All shipped nodes must be local kinds.
 func SerializeSubtree[D any](n *Node[D], maxDepth int, codec DataCodec[D]) []byte {
-	var out []byte
-	out = binary.LittleEndian.AppendUint32(out, 0) // node count, patched below
-	count := serializeNode(n, maxDepth, codec, &out)
-	binary.LittleEndian.PutUint32(out[:4], uint32(count))
-	return out
+	return AppendSubtree(nil, n, maxDepth, codec)
+}
+
+// AppendSubtree is SerializeSubtree appending to dst, so callers with a
+// reusable buffer (the cache's pooled fill blobs) serialize without
+// allocating once the buffer has grown to a steady-state size.
+func AppendSubtree[D any](dst []byte, n *Node[D], maxDepth int, codec DataCodec[D]) []byte {
+	base := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // node count, patched below
+	count := serializeNode(n, maxDepth, codec, &dst)
+	binary.LittleEndian.PutUint32(dst[base:base+4], uint32(count))
+	return dst
 }
 
 func serializeNode[D any](n *Node[D], depthLeft int, codec DataCodec[D], out *[]byte) int {

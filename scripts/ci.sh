@@ -64,4 +64,21 @@ for kind in drop retry; do
 	esac
 done
 
+echo "==> bench-gate"
+# Perf trajectory gate: re-measure the benchmark set and compare against
+# the committed baseline snapshot, failing on any benchmark more than
+# BENCH_TOLERANCE (fractional, default 0.15 = ±15%) slower or allocating
+# beyond it. ns/op baselines only transfer between like machines, so on a
+# foreign or heavily loaded host set BENCH_GATE=off (the schema and
+# comparator themselves stay covered by go test ./internal/benchfmt).
+# After an intentional perf change, regenerate and commit the baseline:
+#   go run ./cmd/paratreet-bench bench -quick -bench-out BENCH_baseline.json
+if [ "${BENCH_GATE:-on}" = "off" ]; then
+	echo "bench-gate skipped (BENCH_GATE=off)"
+else
+	go run ./cmd/paratreet-bench bench -quick \
+		-bench-compare BENCH_baseline.json \
+		-bench-tolerance "${BENCH_TOLERANCE:-0.15}"
+fi
+
 echo "CI gate passed."

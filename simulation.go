@@ -78,15 +78,16 @@ func NewSimulation[D any](cfg Config, acc Accumulator[D], codec DataCodec[D], ps
 		Faults:         cfg.Faults,
 	})
 	world := core.NewWorld(m, core.Config{
-		TreeType:    cfg.Tree,
-		DecompType:  cfg.Decomp,
-		BucketSize:  cfg.BucketSize,
-		Partitions:  cfg.Partitions,
-		Subtrees:    cfg.Subtrees,
-		FetchDepth:  cfg.FetchDepth,
-		CachePolicy: cfg.CachePolicy,
-		ShareDepth:  cfg.ShareDepth,
-		Retry:       cache.RetryPolicy{Timeout: cfg.fetchTimeout()},
+		TreeType:     cfg.Tree,
+		DecompType:   cfg.Decomp,
+		BucketSize:   cfg.BucketSize,
+		Partitions:   cfg.Partitions,
+		Subtrees:     cfg.Subtrees,
+		FetchDepth:   cfg.FetchDepth,
+		CachePolicy:  cfg.CachePolicy,
+		ShareDepth:   cfg.ShareDepth,
+		BuildWorkers: cfg.BuildWorkers,
+		Retry:        cache.RetryPolicy{Timeout: cfg.fetchTimeout()},
 	}, acc, codec)
 	m.Start()
 	return &Simulation[D]{cfg: cfg, machine: m, world: world, particles: ps}, nil
