@@ -60,7 +60,11 @@ func (b benchResult) toResult(name string) benchfmt.Result {
 // runBenchSuite executes the benchmark set and handles snapshot output
 // and the baseline comparison. quick shrinks every workload to smoke
 // scale (and stamps the snapshot's workload name accordingly, since
-// ns/op baselines are only comparable at like scale).
+// ns/op baselines are only comparable at like scale). The whole suite is
+// a timing harness — clock reads and formatting are its job, so it is
+// marked cold to stop any future hotpath propagation into it.
+//
+//paratreet:coldpath
 func runBenchSuite(w io.Writer, seed int64, quick bool) error {
 	nBuild, nSim := 100000, 20000
 	if quick {
@@ -167,6 +171,8 @@ func runBenchSuite(w io.Writer, seed int64, quick bool) error {
 // benchTreeBuild measures the full standalone build pipeline — key
 // assignment, sort, node construction, Data accumulation — serial
 // (workers<=1) or via the Cornerstone-style parallel path.
+//
+//paratreet:coldpath
 func benchTreeBuild(n int, seed int64, workers int) benchResult {
 	box := vec.NewBox(vec.V(0, 0, 0), vec.V(1, 1, 1))
 	pristine := particle.NewClustered(n, seed, box, 8)
@@ -193,6 +199,8 @@ func benchTreeBuild(n int, seed int64, workers int) benchResult {
 
 // benchRadixSort measures the parallel LSD radix sort alone, re-keying a
 // fresh copy of the cloud each iteration outside the timer.
+//
+//paratreet:coldpath
 func benchRadixSort(n int, seed int64) benchResult {
 	box := vec.NewBox(vec.V(0, 0, 0), vec.V(1, 1, 1))
 	pristine := particle.NewUniform(n, seed, box)

@@ -3,22 +3,36 @@
 // reimplementation of the small slice of the x/tools analysis machinery the
 // project needs to machine-check its concurrency and hot-path invariants.
 //
-// The invariants it enforces are the ones the paper's performance story
-// rests on: the wait-free software cache must never grow locking onto the
-// traversal path, per-visit loops must stay clock- and allocation-free,
-// the nil-safe metrics handles must stay nil-safe, and 64-bit atomics must
-// stay addressable on 32-bit platforms. Those rules used to live in
-// comments; here they are encoded as five analyzers (lockcheck, hotpath,
-// nilrecv, atomicalign, leakcheck) driven by source directives:
+// The invariants it enforces are the ones the paper's correctness and
+// performance story rests on: the wait-free software cache must never grow
+// locking onto the traversal path, per-visit loops must stay clock- and
+// allocation-free, the nil-safe metrics handles must stay nil-safe, 64-bit
+// atomics must stay addressable on 32-bit platforms, quiescence detection
+// must see every pending unit retired on every path, lock acquisition
+// must stay cycle-free and off the hot path, and Visitor callbacks must
+// not mutate shared state. Those rules used to live in comments; here
+// they are encoded as eight analyzers (atomicalign, hotpath, leakcheck,
+// lockcheck, lockorder, nilrecv, pendingbalance, purevisit) driven by
+// source directives:
 //
 //	//paratreet:hotpath            function (and intra-package callees) is a
 //	                               per-visit path: no time.Now, fmt.*, map
-//	                               creation, closures, defer, or go
+//	                               creation, closures, defer, go, or locks
 //	//paratreet:coldpath           stops hotpath propagation (miss paths)
 //	//paratreet:nilsafe            type's exported pointer methods must
 //	                               begin with a nil-receiver guard
+//	//paratreet:acquires-pending   function nets >= +1 pending unit on
+//	                               every exit (send paths; the unit belongs
+//	                               to the in-flight work it created)
+//	//paratreet:retires            function nets exactly -1 pending unit
+//	                               on every exit (pendingDone, deliver)
 //	// guarded by <mu>             struct field only accessed under <mu>
 //	//paratreet:allow(<analyzer>) <why>   per-line waiver, reason required
+//
+// The interprocedural analyzers (pendingbalance, lockorder, purevisit)
+// share a package-level call graph with interface method-set resolution
+// (callgraph.go) and a path-sensitive balance engine (dataflow.go), all
+// still pure stdlib.
 //
 // Diagnostics are deterministic: sorted by file, line, column, analyzer,
 // message, and deduplicated, so CI output and golden tests are stable.
@@ -98,7 +112,10 @@ func Analyzers() []*Analyzer {
 		HotPathAnalyzer,
 		LeakCheckAnalyzer,
 		LockCheckAnalyzer,
+		LockOrderAnalyzer,
 		NilRecvAnalyzer,
+		PendingBalanceAnalyzer,
+		PureVisitAnalyzer,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
@@ -118,17 +135,34 @@ func ByName(name string) *Analyzer {
 // position-sorted, deduplicated diagnostics.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	// Waiver hygiene validates against the full registry, not just the
+	// analyzers selected for this run: a waiver naming an analyzer that
+	// does not exist suppresses nothing and rots silently.
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
 	for _, pkg := range pkgs {
 		// Framework hygiene: a //paratreet:allow(...) waiver with no reason
-		// text defeats the point of auditable suppressions — flag it.
-		for file, lines := range pkg.allowLines[""] {
-			for _, line := range lines {
+		// text defeats the point of auditable suppressions, and one naming
+		// an unknown analyzer waives nothing — flag both.
+		for _, w := range pkg.allows {
+			switch {
+			case w.reason == "":
 				diags = append(diags, Diagnostic{
 					Analyzer: "framework",
-					File:     file,
-					Line:     line,
+					File:     w.file,
+					Line:     w.line,
 					Col:      1,
 					Message:  "//paratreet:allow waiver without a reason; state why the finding is safe to suppress",
+				})
+			case !known[w.analyzer]:
+				diags = append(diags, Diagnostic{
+					Analyzer: "framework",
+					File:     w.file,
+					Line:     w.line,
+					Col:      1,
+					Message:  fmt.Sprintf("//paratreet:allow names unknown analyzer %q; it suppresses nothing", w.analyzer),
 				})
 			}
 		}

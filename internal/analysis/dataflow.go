@@ -1,0 +1,416 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Path-sensitive balance engine: the dataflow core of the pendingbalance
+// analyzer. It evaluates a function body over an abstract counter — how
+// many pending units the code has net-acquired so far — tracking every
+// control-flow path separately through if/switch/select and joining
+// branches into a [lo, hi] interval. The caller supplies the effect of
+// each call expression (an Add on the audited counter, a call to a
+// //paratreet:retires function, ...) and gets back the interval at every
+// exit (each return plus the fall-off-the-end exit), against which it
+// checks the function's contract.
+//
+// Design choices, in the order they bite:
+//
+//   - Intervals, not single values: `if dup { pending.Add(1) }` inside an
+//     acquiring function legitimately nets +1 or +2; the contract is
+//     "at least one", which an interval can express without a false
+//     positive at the join.
+//   - Loops must be balance-neutral per iteration. A loop that retires
+//     one unit per popped message (the runtime's comm and worker loops)
+//     is net-negative by design and carries a waiver at the loop
+//     statement; everything else is a leak.
+//   - panic paths are exempt: the process is going down, the quiescence
+//     counter no longer matters.
+//   - defer is tracked separately and folded into every subsequent exit,
+//     so `defer m.pendingDone()` retires on all paths, as at runtime.
+//   - Function literals are skipped here and audited separately as
+//     balance-neutral anonymous functions — except a directly deferred
+//     literal (`defer func(){...}()`), whose body folds into the
+//     enclosing function's deferred balance.
+//   - goto and effectful loop conditions are out of scope: the engine
+//     reports them as unprovable rather than guessing.
+
+// bal is a [Lo, Hi] interval of net acquired pending units.
+type bal struct{ Lo, Hi int }
+
+func (b bal) add(o bal) bal    { return bal{b.Lo + o.Lo, b.Hi + o.Hi} }
+func (b bal) join(o bal) bal   { return bal{min(b.Lo, o.Lo), max(b.Hi, o.Hi)} }
+func (b bal) isZero() bool     { return b.Lo == 0 && b.Hi == 0 }
+func (b bal) exact(n int) bool { return b.Lo == n && b.Hi == n }
+
+// String renders the interval for diagnostics: "+1", "-1", or "+0..+2".
+func (b bal) String() string {
+	if b.Lo == b.Hi {
+		return fmt.Sprintf("%+d", b.Lo)
+	}
+	return fmt.Sprintf("%+d..%+d", b.Lo, b.Hi)
+}
+
+// balanceExit is the state at one way out of the function.
+type balanceExit struct {
+	Pos token.Pos
+	// Val is the net balance on this path, deferred effects included.
+	Val bal
+	// Implicit marks the fall-off-the-end exit (Pos is the closing brace).
+	Implicit bool
+}
+
+// balState is the abstract state along one control-flow path.
+type balState struct {
+	cur  bal
+	def  bal // accumulated deferred effects
+	term bool
+	fell bool // path ended in fallthrough (switch clauses only)
+}
+
+func joinStates(a, b balState) balState {
+	if a.term {
+		return b
+	}
+	if b.term {
+		return a
+	}
+	return balState{cur: a.cur.join(b.cur), def: a.def.join(b.def)}
+}
+
+// balanceEval evaluates one function body. effect maps a call expression
+// to its balance effect; report routes engine-level findings (unbalanced
+// loops, goto) to the analyzer's diagnostics.
+type balanceEval struct {
+	info   *types.Info
+	effect func(*ast.CallExpr) bal
+	report func(pos token.Pos, format string, args ...any)
+
+	exits []balanceExit
+	// absorbed collects deferred function literals folded into the
+	// enclosing function, so the analyzer skips their standalone audit.
+	absorbed map[*ast.FuncLit]bool
+
+	// ctxs is the stack of enclosing breakable statements.
+	ctxs []*balCtx
+
+	pendingLabel string
+}
+
+// balCtx is one enclosing loop/switch/select a break or continue can
+// target.
+type balCtx struct {
+	label  string
+	isLoop bool
+	pos    token.Pos
+	entry  balState   // loop entry state, for per-iteration deltas
+	breaks []balState // states carried out by break
+}
+
+// evalBalance runs the engine over body and returns the exit states.
+func evalBalance(info *types.Info, body *ast.BlockStmt, effect func(*ast.CallExpr) bal, report func(token.Pos, string, ...any), absorbed map[*ast.FuncLit]bool) []balanceExit {
+	e := &balanceEval{info: info, effect: effect, report: report, absorbed: absorbed}
+	s := e.block(balState{}, body.List)
+	if !s.term {
+		e.exits = append(e.exits, balanceExit{Pos: body.Rbrace, Val: s.cur.add(s.def), Implicit: true})
+	}
+	return e.exits
+}
+
+func (e *balanceEval) block(s balState, stmts []ast.Stmt) balState {
+	for _, st := range stmts {
+		if s.term {
+			break
+		}
+		s = e.stmt(s, st)
+	}
+	return s
+}
+
+// apply folds the balance effects of every call expression under n
+// (skipping function literals) into s, and terminates the path on panic.
+func (e *balanceEval) apply(s balState, n ast.Node) balState {
+	if n == nil {
+		return s
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := e.info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				s.term = true
+				return true
+			}
+		}
+		s.cur = s.cur.add(e.effect(call))
+		return true
+	})
+	return s
+}
+
+func (e *balanceEval) stmt(s balState, st ast.Stmt) balState {
+	label := e.pendingLabel
+	e.pendingLabel = ""
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		return e.block(s, st.List)
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt:
+		return e.apply(s, st)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s = e.apply(s, r)
+		}
+		if !s.term {
+			e.exits = append(e.exits, balanceExit{Pos: st.Pos(), Val: s.cur.add(s.def)})
+			s.term = true
+		}
+		return s
+	case *ast.DeferStmt:
+		return e.deferStmt(s, st)
+	case *ast.GoStmt:
+		// The spawned body runs elsewhere; only argument expressions
+		// evaluate here. A literal body is audited standalone.
+		for _, a := range st.Call.Args {
+			s = e.apply(s, a)
+		}
+		if _, isLit := ast.Unparen(st.Call.Fun).(*ast.FuncLit); !isLit {
+			s = e.apply(s, st.Call.Fun)
+		}
+		return s
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s = e.stmt(s, st.Init)
+		}
+		s = e.apply(s, st.Cond)
+		if s.term {
+			return s
+		}
+		then := e.block(s, st.Body.List)
+		els := s
+		if st.Else != nil {
+			els = e.stmt(s, st.Else)
+		}
+		return joinStates(then, els)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s = e.stmt(s, st.Init)
+		}
+		if st.Cond != nil {
+			before := s
+			s = e.apply(s, st.Cond)
+			if s.cur != before.cur {
+				e.report(st.Cond.Pos(), "balance-changing call in a loop condition; cannot prove the pending balance")
+				s.cur = before.cur
+			}
+		}
+		return e.loop(s, st.Pos(), label, st.Cond == nil, func(in balState) balState {
+			out := e.block(in, st.Body.List)
+			if st.Post != nil && !out.term {
+				out = e.stmt(out, st.Post)
+			}
+			return out
+		})
+	case *ast.RangeStmt:
+		s = e.apply(s, st.X)
+		return e.loop(s, st.Pos(), label, false, func(in balState) balState {
+			return e.block(in, st.Body.List)
+		})
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s = e.stmt(s, st.Init)
+		}
+		s = e.apply(s, st.Tag)
+		return e.switchClauses(s, st.Pos(), label, st.Body.List, true)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s = e.stmt(s, st.Init)
+		}
+		s = e.apply(s, st.Assign)
+		return e.switchClauses(s, st.Pos(), label, st.Body.List, true)
+	case *ast.SelectStmt:
+		return e.switchClauses(s, st.Pos(), label, st.Body.List, false)
+	case *ast.LabeledStmt:
+		e.pendingLabel = st.Label.Name
+		return e.stmt(s, st.Stmt)
+	case *ast.BranchStmt:
+		return e.branch(s, st)
+	default:
+		return s
+	}
+}
+
+// deferStmt folds a deferred call into the path's deferred balance. A
+// deferred function literal contributes its body's own balance, provided
+// every path through it agrees.
+func (e *balanceEval) deferStmt(s balState, st *ast.DeferStmt) balState {
+	for _, a := range st.Call.Args {
+		s = e.apply(s, a)
+	}
+	if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+		if e.absorbed != nil {
+			e.absorbed[lit] = true
+		}
+		exits := evalBalance(e.info, lit.Body, e.effect, e.report, e.absorbed)
+		var v bal
+		for i, x := range exits {
+			if i == 0 {
+				v = x.Val
+			} else {
+				v = v.join(x.Val)
+			}
+		}
+		if len(exits) > 0 {
+			s.def = s.def.add(v)
+		}
+		return s
+	}
+	s.def = s.def.add(e.effect(st.Call))
+	return s
+}
+
+// loop evaluates a loop body once and enforces that every way an
+// iteration can end leaves the balance exactly where it entered.
+// infinite marks `for {}` loops, whose only exits are breaks and
+// returns.
+func (e *balanceEval) loop(s balState, pos token.Pos, label string, infinite bool, body func(balState) balState) balState {
+	ctx := &balCtx{label: label, isLoop: true, pos: pos, entry: s}
+	e.ctxs = append(e.ctxs, ctx)
+	end := body(s)
+	e.ctxs = e.ctxs[:len(e.ctxs)-1]
+	if !end.term {
+		if d := (bal{end.cur.Lo - s.cur.Lo, end.cur.Hi - s.cur.Hi}); !d.isZero() {
+			e.report(pos, "loop body changes the pending balance by %s per iteration; each iteration must retire what it acquires", d)
+		}
+		if end.def != s.def {
+			e.report(pos, "defer with a pending-balance effect inside a loop; hoist it out")
+		}
+	}
+	out := s
+	if infinite && len(ctx.breaks) == 0 {
+		out.term = true
+	}
+	return out
+}
+
+// switchClauses evaluates the clause bodies of a switch, type switch, or
+// select from a common entry state and joins the outcomes. A missing
+// default keeps the entry state as one possible outcome (for select,
+// which always takes a clause, only when there are no clauses at all).
+func (e *balanceEval) switchClauses(s balState, pos token.Pos, label string, clauses []ast.Stmt, defaultFallsThrough bool) balState {
+	ctx := &balCtx{label: label, pos: pos, entry: s}
+	e.ctxs = append(e.ctxs, ctx)
+	var outs []balState
+	hasDefault := false
+	prevFell := balState{term: true}
+	for _, cs := range clauses {
+		entry := s
+		if !prevFell.term {
+			entry = joinStates(entry, prevFell)
+		}
+		var bodyStmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, x := range cs.List {
+				entry = e.apply(entry, x)
+			}
+			bodyStmts = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				entry = e.stmt(entry, cs.Comm)
+			}
+			bodyStmts = cs.Body
+		}
+		out := e.block(entry, bodyStmts)
+		if out.fell {
+			out.fell = false
+			out.term = false
+			prevFell = out
+			continue
+		}
+		prevFell = balState{term: true}
+		outs = append(outs, out)
+	}
+	if !prevFell.term {
+		outs = append(outs, prevFell) // fallthrough off the last clause
+	}
+	e.ctxs = e.ctxs[:len(e.ctxs)-1]
+	if !hasDefault && (defaultFallsThrough || len(clauses) == 0) {
+		outs = append(outs, s)
+	}
+	outs = append(outs, ctx.breaks...)
+	res := balState{term: true}
+	for _, o := range outs {
+		res = joinStates(res, o)
+	}
+	return res
+}
+
+// branch handles break, continue, goto, fallthrough.
+func (e *balanceEval) branch(s balState, st *ast.BranchStmt) balState {
+	label := ""
+	if st.Label != nil {
+		label = st.Label.Name
+	}
+	find := func(loopOnly bool) *balCtx {
+		for i := len(e.ctxs) - 1; i >= 0; i-- {
+			c := e.ctxs[i]
+			if loopOnly && !c.isLoop {
+				continue
+			}
+			if label == "" || c.label == label {
+				return c
+			}
+		}
+		return nil
+	}
+	switch st.Tok {
+	case token.BREAK:
+		c := find(false)
+		if c == nil {
+			s.term = true
+			return s
+		}
+		if c.isLoop {
+			// Breaking out of a loop must not carry an imbalance
+			// accumulated inside the iteration.
+			if d := (bal{s.cur.Lo - c.entry.cur.Lo, s.cur.Hi - c.entry.cur.Hi}); !d.isZero() {
+				e.report(st.Pos(), "break leaves the loop with the pending balance changed by %s; retire before breaking", d)
+				s.cur = c.entry.cur
+			}
+		}
+		c.breaks = append(c.breaks, s)
+		s.term = true
+		return s
+	case token.CONTINUE:
+		c := find(true)
+		if c != nil {
+			if d := (bal{s.cur.Lo - c.entry.cur.Lo, s.cur.Hi - c.entry.cur.Hi}); !d.isZero() {
+				e.report(st.Pos(), "continue ends an iteration with the pending balance changed by %s; each iteration must retire what it acquires", d)
+			}
+		}
+		s.term = true
+		return s
+	case token.GOTO:
+		e.report(st.Pos(), "goto: cannot prove the pending balance across arbitrary jumps")
+		s.term = true
+		return s
+	case token.FALLTHROUGH:
+		s.fell = true
+		s.term = true // ends this clause; switchClauses revives it
+		return s
+	}
+	return s
+}

@@ -22,6 +22,13 @@ const (
 	// DirAllow waives a finding: //paratreet:allow(<analyzer>) <reason>.
 	// The reason is mandatory; a bare allow is itself a diagnostic.
 	DirAllow = "allow"
+	// DirAcquiresPending marks a function that nets at least one new
+	// pending unit on every exit path, handing ownership to the in-flight
+	// work it created (send paths). Callers see no balance effect.
+	DirAcquiresPending = "acquires-pending"
+	// DirRetires marks a function that consumes exactly one pending unit
+	// on every exit path (pendingDone, deliver, Delayed.Cancel).
+	DirRetires = "retires"
 )
 
 // hasDirective reports whether the comment group carries
@@ -49,12 +56,21 @@ func funcDirective(fd *ast.FuncDecl, name string) bool {
 
 var allowRe = regexp.MustCompile(`^//paratreet:allow\((\w+)\)\s*(.*)$`)
 
-// collectAllows scans all comments for //paratreet:allow(<analyzer>) lines
-// and returns analyzer -> filename -> waiver lines. A waiver with no reason
-// text is recorded under the pseudo-analyzer "" so the framework's own
-// hygiene check can flag it.
-func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[string][]int {
-	out := make(map[string]map[string][]int)
+// allowEntry is one //paratreet:allow(<analyzer>) waiver comment. The
+// framework's hygiene checks validate every entry (reason present,
+// analyzer known); only well-formed entries suppress findings.
+type allowEntry struct {
+	analyzer string
+	file     string
+	line     int
+	reason   string
+}
+
+// collectAllows scans all comments for //paratreet:allow(<analyzer>)
+// waivers. A trailing "// want" clause (golden-test expectations share
+// the comment line in testdata) is not part of the reason.
+func collectAllows(fset *token.FileSet, files []*ast.File) []allowEntry {
+	var out []allowEntry
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -63,18 +79,37 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[string
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				analyzer := m[1]
-				if strings.TrimSpace(m[2]) == "" {
-					analyzer = "" // reasonless waiver
+				reason := m[2]
+				if i := strings.Index(reason, "// want"); i >= 0 {
+					reason = reason[:i]
 				}
-				byFile := out[analyzer]
-				if byFile == nil {
-					byFile = make(map[string][]int)
-					out[analyzer] = byFile
-				}
-				byFile[pos.Filename] = append(byFile[pos.Filename], pos.Line)
+				out = append(out, allowEntry{
+					analyzer: m[1],
+					file:     pos.Filename,
+					line:     pos.Line,
+					reason:   strings.TrimSpace(reason),
+				})
 			}
 		}
+	}
+	return out
+}
+
+// buildAllowLines indexes the well-formed waivers for suppression:
+// analyzer -> filename -> lines. Reasonless waivers are inert — they are
+// the framework's own diagnostic, not a suppression.
+func buildAllowLines(entries []allowEntry) map[string]map[string][]int {
+	out := make(map[string]map[string][]int)
+	for _, e := range entries {
+		if e.reason == "" {
+			continue
+		}
+		byFile := out[e.analyzer]
+		if byFile == nil {
+			byFile = make(map[string][]int)
+			out[e.analyzer] = byFile
+		}
+		byFile[e.file] = append(byFile[e.file], e.line)
 	}
 	return out
 }

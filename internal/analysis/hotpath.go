@@ -27,71 +27,25 @@ var HotPathAnalyzer = &Analyzer{
 func runHotPath(pass *Pass) error {
 	info := pass.TypesInfo()
 
-	// Index this package's function declarations by their (generic-origin)
-	// object, and record hotpath/coldpath marks.
-	declByObj := make(map[*types.Func]*ast.FuncDecl)
-	hot := make(map[*types.Func]string) // func -> name of the root that made it hot
-	cold := make(map[*types.Func]bool)
-	var roots []*types.Func
+	// Conflicting marks are their own finding; a function marked both is
+	// treated as cold (propagation stops there).
 	for _, file := range pass.Files() {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			obj, ok := info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			declByObj[obj] = fd
-			if funcDirective(fd, DirColdPath) {
-				cold[obj] = true
-				if funcDirective(fd, DirHotPath) {
-					pass.Reportf(fd.Name.Pos(), "%s is marked both //paratreet:hotpath and //paratreet:coldpath", fd.Name.Name)
-				}
-				continue
-			}
-			if funcDirective(fd, DirHotPath) {
-				hot[obj] = fd.Name.Name
-				roots = append(roots, obj)
+			if funcDirective(fd, DirColdPath) && funcDirective(fd, DirHotPath) {
+				pass.Reportf(fd.Name.Pos(), "%s is marked both //paratreet:hotpath and //paratreet:coldpath", fd.Name.Name)
 			}
 		}
 	}
-	if len(roots) == 0 {
-		return nil
-	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
 
-	// Propagate hotness through intra-package static calls (BFS so every
-	// reachable function is attributed to the first root that reaches it).
-	queue := append([]*types.Func(nil), roots...)
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		fd := declByObj[fn]
-		root := hot[fn]
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			if _, ok := n.(*ast.FuncLit); ok {
-				return false // closure bodies run at their own granularity
-			}
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			callee := staticCallee(info, call)
-			if callee == nil {
-				return true
-			}
-			callee = callee.Origin()
-			if _, inPkg := declByObj[callee]; !inPkg || cold[callee] {
-				return true
-			}
-			if _, seen := hot[callee]; !seen {
-				hot[callee] = root
-				queue = append(queue, callee)
-			}
-			return true
-		})
+	// Hot marks propagate through intra-package static calls (BFS in
+	// hotFuncs, shared with lockorder's no-locks-on-hot-paths rule).
+	hot, declByObj := hotFuncs(pass)
+	if len(hot) == 0 {
+		return nil
 	}
 
 	// Check every hot function's body.

@@ -28,9 +28,13 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
+	// allows is every //paratreet:allow waiver comment, well-formed or
+	// not, for the framework's hygiene checks.
+	allows []allowEntry
 	// allowLines maps analyzer name -> filename -> lines carrying a
-	// //paratreet:allow(name) waiver. A waiver on line L covers findings
-	// on L and L+1, so it works both as a trailing and a preceding comment.
+	// reasoned //paratreet:allow(name) waiver. A waiver on line L covers
+	// findings on L and L+1, so it works both as a trailing and a
+	// preceding comment.
 	allowLines map[string]map[string][]int
 }
 
@@ -333,15 +337,16 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
 	pkg := &Package{
-		Path:       path,
-		Dir:        dir,
-		Name:       pkgName,
-		Fset:       l.Fset,
-		Files:      files,
-		Types:      tpkg,
-		Info:       info,
-		allowLines: collectAllows(l.Fset, files),
+		Path:   path,
+		Dir:    dir,
+		Name:   pkgName,
+		Fset:   l.Fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		allows: collectAllows(l.Fset, files),
 	}
+	pkg.allowLines = buildAllowLines(pkg.allows)
 	l.pkgs[path] = pkg
 	return pkg, nil
 }
@@ -350,16 +355,18 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 // analysistest harness loads testdata packages outside the module) into a
 // Package, wiring up waiver-comment collection.
 func NewTestPackage(dir, name string, fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info) *Package {
-	return &Package{
-		Path:       tpkg.Path(),
-		Dir:        dir,
-		Name:       name,
-		Fset:       fset,
-		Files:      files,
-		Types:      tpkg,
-		Info:       info,
-		allowLines: collectAllows(fset, files),
+	pkg := &Package{
+		Path:   tpkg.Path(),
+		Dir:    dir,
+		Name:   name,
+		Fset:   fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		allows: collectAllows(fset, files),
 	}
+	pkg.allowLines = buildAllowLines(pkg.allows)
+	return pkg
 }
 
 // loaderImporter adapts Loader to types.Importer: module-local paths come

@@ -1,0 +1,564 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer builds the package's mutex-acquisition-order graph
+// and reports two hazards:
+//
+//   - cycles: if one code path acquires class A while holding B and
+//     another acquires B while holding A, the two can deadlock. Lock
+//     classes are mutex declarations — a struct field or package-level
+//     variable of sync.Mutex/sync.RWMutex — so "one lock per worker"
+//     patterns (rt's per-worker deque mutex) collapse into a single
+//     class, and acquiring a class while already holding it (worker A
+//     locking worker B's deque during a steal) is a one-node cycle,
+//     waivable where a total order outside the lock class (rank order,
+//     victim-only locking) makes it safe.
+//   - hot-path acquisitions: a //paratreet:hotpath function (or
+//     anything it reaches, per the hotpath analyzer's propagation)
+//     taking a lock puts a futex on the per-visit path. Deliberate
+//     short critical sections (the work-stealing deque) carry reasoned
+//     waivers.
+//
+// Held-lock state flows path-sensitively through the function: Lock and
+// RLock push a class, Unlock/RUnlock pop it, a deferred unlock holds to
+// function end, and branch joins keep the intersection (a conditional
+// unlock leaves the lock conservatively not-held afterwards, an
+// under-approximation that can miss an edge but never invents one).
+// Edges also cross calls: each function's transitively-acquirable class
+// set is fixed-pointed over the call graph — interface calls fan out to
+// in-package implementations — and a call made while holding H adds
+// H -> (everything the callee may acquire).
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "builds the mutex-acquisition-order graph, reporting order cycles (potential deadlocks) and lock acquisition on //paratreet:hotpath paths",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one "acquired To while holding From" observation.
+type lockEdge struct {
+	From, To *types.Var
+	Pos      token.Pos // acquisition (or call) site, first occurrence
+	Fn       string    // function the acquisition happens in
+	ViaCall  string    // callee name when the edge crosses a call, else ""
+}
+
+func runLockOrder(pass *Pass) error {
+	info := pass.TypesInfo()
+	cg := BuildCallGraph(pass)
+
+	// Class names for diagnostics: "Type.field" for struct fields,
+	// plain name for package-level vars.
+	names := lockClassNames(pass)
+	classNames := func(v *types.Var) string {
+		if n, ok := names[v]; ok {
+			return n
+		}
+		return v.Name()
+	}
+
+	// Transitive acquisition summaries, callees-first with an in-SCC
+	// fixpoint for recursion.
+	acq := make(map[*types.Func]map[*types.Var]bool)
+	for _, comp := range cg.SCCs() {
+		for {
+			changed := false
+			for _, node := range comp {
+				set := acq[node.Fn]
+				if set == nil {
+					set = make(map[*types.Var]bool)
+					acq[node.Fn] = set
+				}
+				before := len(set)
+				ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if cls, acquire := mutexClassOf(info, call); cls != nil && acquire {
+							set[cls] = true
+						}
+					}
+					return true
+				})
+				for _, e := range node.Calls {
+					for c := range acq[e.Callee] {
+						set[c] = true
+					}
+				}
+				if len(set) != before {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	// Walk every function, tracking held classes and recording edges.
+	var edges []lockEdge
+	nodes := make([]*CGNode, 0, len(cg.Nodes))
+	for _, n := range cg.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Fn.Pos() < nodes[j].Fn.Pos() })
+	for _, node := range nodes {
+		w := &lockWalker{
+			info: info, node: node, acq: acq,
+			record: func(e lockEdge) { edges = append(edges, e) },
+		}
+		w.block(lockState{}, node.Decl.Body.List)
+	}
+
+	// Cross-class edges are deduplicated by (From, To), keeping the first
+	// site in position order, and reported when the two classes sit on a
+	// cycle of the class graph. Self-edges (same-class nesting) are
+	// reported at every site, so each acquisition carries its own waiver.
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Pos < edges[j].Pos })
+	type pair struct{ from, to *types.Var }
+	first := make(map[pair]lockEdge)
+	adj := make(map[*types.Var][]*types.Var)
+	for _, e := range edges {
+		p := pair{e.From, e.To}
+		if _, seen := first[p]; !seen {
+			first[p] = e
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+	cyclic := cyclicClasses(adj)
+	for _, e := range edges {
+		via := ""
+		if e.ViaCall != "" {
+			via = fmt.Sprintf(" (via call to %s)", e.ViaCall)
+		}
+		if e.From == e.To {
+			pass.Reportf(e.Pos,
+				"%s acquires %s while already holding %s%s; same-class nesting deadlocks unless an external order applies",
+				e.Fn, classNames(e.To), classNames(e.From), via)
+			continue
+		}
+		if first[pair{e.From, e.To}].Pos != e.Pos {
+			continue
+		}
+		if cyclic[e.From] && cyclic[e.To] && sameSCC(adj, e.From, e.To) {
+			pass.Reportf(e.Pos,
+				"lock-order cycle: %s acquires %s while holding %s%s, but the opposite order also occurs; potential deadlock",
+				e.Fn, classNames(e.To), classNames(e.From), via)
+		}
+	}
+
+	// Hot-path rule: no direct lock acquisition in hot functions.
+	hot, decls := hotFuncs(pass)
+	hotFns := make([]*types.Func, 0, len(hot))
+	for fn := range hot {
+		hotFns = append(hotFns, fn)
+	}
+	sort.Slice(hotFns, func(i, j int) bool { return hotFns[i].Pos() < hotFns[j].Pos() })
+	for _, fn := range hotFns {
+		fd := decls[fn]
+		where := fmt.Sprintf("hotpath function %s", fd.Name.Name)
+		if root := hot[fn]; root != fd.Name.Name {
+			where = fmt.Sprintf("%s (reachable from hotpath %s)", fd.Name.Name, root)
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if cls, acquire := mutexClassOf(info, call); cls != nil && acquire {
+				pass.Reportf(call.Pos(), "%s acquires %s; keep the per-visit path lock-free", where, classNames(cls))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockState is the ordered held-lock list along one path.
+type lockState struct {
+	held []*types.Var
+	term bool
+}
+
+func (s lockState) clone() lockState {
+	return lockState{held: append([]*types.Var(nil), s.held...), term: s.term}
+}
+
+func (s lockState) holds(c *types.Var) bool {
+	for _, h := range s.held {
+		if h == c {
+			return true
+		}
+	}
+	return false
+}
+
+// lockWalker tracks held locks through one function body.
+type lockWalker struct {
+	info   *types.Info
+	node   *CGNode
+	acq    map[*types.Func]map[*types.Var]bool
+	record func(lockEdge)
+}
+
+func (w *lockWalker) block(s lockState, stmts []ast.Stmt) lockState {
+	for _, st := range stmts {
+		if s.term {
+			break
+		}
+		s = w.stmt(s, st)
+	}
+	return s
+}
+
+// apply processes every call expression under n in source order.
+func (w *lockWalker) apply(s lockState, n ast.Node) lockState {
+	if n == nil {
+		return s
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		s = w.call(s, call, false)
+		return true
+	})
+	return s
+}
+
+// call folds one call expression into the held-lock state. deferred
+// marks `defer mu.Unlock()`-style calls, which keep the lock held.
+func (w *lockWalker) call(s lockState, call *ast.CallExpr, deferred bool) lockState {
+	if cls, acquire := mutexClassOf(w.info, call); cls != nil {
+		if acquire {
+			for _, h := range s.held {
+				w.record(lockEdge{From: h, To: cls, Pos: call.Pos(), Fn: w.node.Fn.Name()})
+			}
+			s.held = append(s.held, cls)
+		} else if !deferred {
+			// Drop the most recent acquisition of the class.
+			for i := len(s.held) - 1; i >= 0; i-- {
+				if s.held[i] == cls {
+					s.held = append(s.held[:i:i], s.held[i+1:]...)
+					break
+				}
+			}
+		}
+		return s
+	}
+	if len(s.held) > 0 {
+		for _, callee := range w.node.CalleesAt(call) {
+			for c := range w.acq[callee] {
+				for _, h := range s.held {
+					w.record(lockEdge{From: h, To: c, Pos: call.Pos(), Fn: w.node.Fn.Name(), ViaCall: callee.Name()})
+				}
+			}
+		}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			s.term = true
+		}
+	}
+	return s
+}
+
+func (w *lockWalker) stmt(s lockState, st ast.Stmt) lockState {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		return w.block(s, st.List)
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt:
+		return w.apply(s, st)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s = w.apply(s, r)
+		}
+		s.term = true
+		return s
+	case *ast.DeferStmt:
+		for _, a := range st.Call.Args {
+			s = w.apply(s, a)
+		}
+		return w.call(s, st.Call, true)
+	case *ast.GoStmt:
+		for _, a := range st.Call.Args {
+			s = w.apply(s, a)
+		}
+		return s
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s = w.stmt(s, st.Init)
+		}
+		s = w.apply(s, st.Cond)
+		if s.term {
+			return s
+		}
+		then := w.block(s.clone(), st.Body.List)
+		els := s.clone()
+		if st.Else != nil {
+			els = w.stmt(els, st.Else)
+		}
+		return joinLocks(then, els)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s = w.stmt(s, st.Init)
+		}
+		s = w.apply(s, st.Cond)
+		w.block(s.clone(), st.Body.List)
+		if st.Post != nil {
+			w.stmt(s.clone(), st.Post)
+		}
+		return s
+	case *ast.RangeStmt:
+		s = w.apply(s, st.X)
+		w.block(s.clone(), st.Body.List)
+		return s
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s = w.stmt(s, st.Init)
+		}
+		s = w.apply(s, st.Tag)
+		return w.clauses(s, st.Body.List)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s = w.stmt(s, st.Init)
+		}
+		s = w.apply(s, st.Assign)
+		return w.clauses(s, st.Body.List)
+	case *ast.SelectStmt:
+		return w.clauses(s, st.Body.List)
+	case *ast.LabeledStmt:
+		return w.stmt(s, st.Stmt)
+	case *ast.BranchStmt:
+		if st.Tok == token.BREAK || st.Tok == token.CONTINUE || st.Tok == token.GOTO {
+			s.term = true
+		}
+		return s
+	default:
+		return s
+	}
+}
+
+// clauses joins all switch/select clause outcomes by intersection.
+func (w *lockWalker) clauses(s lockState, clauses []ast.Stmt) lockState {
+	out := lockState{term: true}
+	hasDefault := false
+	for _, cs := range clauses {
+		entry := s.clone()
+		var body []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, x := range cs.List {
+				entry = w.apply(entry, x)
+			}
+			body = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				entry = w.stmt(entry, cs.Comm)
+			}
+			body = cs.Body
+		}
+		out = joinLocks(out, w.block(entry, body))
+	}
+	if !hasDefault {
+		out = joinLocks(out, s)
+	}
+	return out
+}
+
+// joinLocks intersects two held-lock lists, keeping a's order.
+func joinLocks(a, b lockState) lockState {
+	if a.term {
+		return b
+	}
+	if b.term {
+		return a
+	}
+	var held []*types.Var
+	for _, h := range a.held {
+		if b.holds(h) {
+			held = append(held, h)
+		}
+	}
+	return lockState{held: held}
+}
+
+// mutexClassOf resolves a call to a sync.Mutex/RWMutex Lock family
+// method and returns the mutex's declaring variable (field or package
+// var). acquire is true for Lock/RLock/TryLock/TryRLock, false for
+// Unlock/RUnlock. Returns (nil, false) for everything else.
+func mutexClassOf(info *types.Info, call *ast.CallExpr) (cls *types.Var, acquire bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil, false
+	}
+	rname := recv.Type().String()
+	if !strings.Contains(rname, "sync.Mutex") && !strings.Contains(rname, "sync.RWMutex") {
+		return nil, false
+	}
+	// The mutex expression: x.mu.Lock() selects field mu; mu.Lock() on a
+	// package var or local selects the var; x.Lock() through an embedded
+	// sync.Mutex resolves via the selection's field path.
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if f := fieldObjOf(info, x); f != nil {
+			return f, acquire
+		}
+		if obj, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return obj, acquire
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[x].(*types.Var); ok {
+			return obj, acquire
+		}
+	}
+	// Embedded mutex: the method selection path ends at the embedded
+	// field.
+	if s, ok := info.Selections[sel]; ok && len(s.Index()) > 1 {
+		t := s.Recv()
+		var field *types.Var
+		for _, idx := range s.Index()[:len(s.Index())-1] {
+			st, ok := t.Underlying().(*types.Struct)
+			if !ok {
+				if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+					st, ok = ptr.Elem().Underlying().(*types.Struct)
+				}
+				if !ok {
+					return nil, false
+				}
+			}
+			field = st.Field(idx)
+			t = field.Type()
+		}
+		if field != nil {
+			return field, acquire
+		}
+	}
+	return nil, false
+}
+
+// lockClassNames maps every mutex field/var declared in the package to a
+// diagnostic-friendly name.
+func lockClassNames(pass *Pass) map[*types.Var]string {
+	info := pass.TypesInfo()
+	names := make(map[*types.Var]string)
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch spec := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := spec.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						for _, name := range field.Names {
+							if v, ok := info.Defs[name].(*types.Var); ok {
+								names[v] = spec.Name.Name + "." + name.Name
+							}
+						}
+						// Embedded fields: name by type.
+						if len(field.Names) == 0 {
+							if id := embeddedIdent(field.Type); id != nil {
+								if v, ok := info.Defs[id].(*types.Var); ok {
+									names[v] = spec.Name.Name + "." + id.Name
+								}
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for _, name := range spec.Names {
+						if v, ok := info.Defs[name].(*types.Var); ok {
+							names[v] = name.Name
+						}
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+// embeddedIdent digs the identifier out of an embedded-field type expr.
+func embeddedIdent(t ast.Expr) *ast.Ident {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t
+	case *ast.StarExpr:
+		return embeddedIdent(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel
+	}
+	return nil
+}
+
+// sameSCC reports whether from and to are mutually reachable in adj.
+func sameSCC(adj map[*types.Var][]*types.Var, from, to *types.Var) bool {
+	return reaches(adj, from, to) && reaches(adj, to, from)
+}
+
+func reaches(adj map[*types.Var][]*types.Var, from, to *types.Var) bool {
+	seen := map[*types.Var]bool{from: true}
+	stack := []*types.Var{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range adj[n] {
+			if m == to {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+// cyclicClasses marks every class on some cycle (self-edges included).
+func cyclicClasses(adj map[*types.Var][]*types.Var) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for n := range adj {
+		if reaches(adj, n, n) {
+			out[n] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PendingBalanceAnalyzer audits the runtime's quiescence accounting: a
+// struct field named "pending" of type sync/atomic.Int64 is a pending-unit
+// counter, and every path through every function must retire what it
+// acquires. PR 4's delivery bugs — a message discarded before the
+// dispatcher was installed without retiring its unit, self-sends enqueued
+// without acquiring one — were all violations of exactly this balance, so
+// the invariant is machine-checked here, interprocedurally.
+//
+// The contract is expressed with two directives:
+//
+//	//paratreet:acquires-pending  the function nets at least +1 on every
+//	                              exit: it creates in-flight work whose
+//	                              unit the work itself (not the caller)
+//	                              will retire. Send paths are the model.
+//	//paratreet:retires           the function nets exactly -1 on every
+//	                              exit: it consumes the unit of one piece
+//	                              of in-flight work. pendingDone, deliver,
+//	                              and Delayed.Cancel are the model.
+//
+// Everything unannotated must be balance-neutral on every exit. The
+// engine (dataflow.go) tracks paths through branches as [lo, hi]
+// intervals; calls to annotated functions contribute their declared
+// effect (acquires-pending hands the unit to the in-flight message, so
+// the caller sees 0; retires contributes -1), calls to unannotated
+// in-package functions contribute their computed summary (fixed-pointed
+// over the call graph, callees first), and dynamic or cross-package
+// calls contribute 0 — each package's annotations vouch for its own
+// surface. Loops must be neutral per iteration; the runtime's pump
+// loops, which retire one unit per popped message, carry reasoned
+// //paratreet:allow(pendingbalance) waivers at the loop statement, as do
+// the deliberate contract escapes (CAS losers, pause buffering).
+// Function literals are audited as balance-neutral anonymous functions;
+// a deferred literal folds into its enclosing function instead.
+var PendingBalanceAnalyzer = &Analyzer{
+	Name: "pendingbalance",
+	Doc:  "checks that every pending.Add acquisition is retired on all exit paths, per //paratreet:acquires-pending and //paratreet:retires contracts",
+	Run:  runPendingBalance,
+}
+
+// pending-balance annotation classes.
+const (
+	annNone = iota
+	annAcquires
+	annRetires
+)
+
+func runPendingBalance(pass *Pass) error {
+	info := pass.TypesInfo()
+
+	// Pending counters: struct fields named "pending" of type
+	// sync/atomic.Int64 (the cache's `pending sync.Map` and plain ints
+	// named pending are deliberately out of scope).
+	counters := make(map[*types.Var]bool)
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					v, ok := info.Defs[name].(*types.Var)
+					if ok && name.Name == "pending" && isAtomicInt64(v.Type()) {
+						counters[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	cg := BuildCallGraph(pass)
+
+	// Annotation classes, with conflicting marks flagged.
+	ann := make(map[*types.Func]int)
+	for fn, node := range cg.Nodes {
+		acq := funcDirective(node.Decl, DirAcquiresPending)
+		ret := funcDirective(node.Decl, DirRetires)
+		switch {
+		case acq && ret:
+			pass.Reportf(node.Decl.Name.Pos(),
+				"%s is marked both //paratreet:acquires-pending and //paratreet:retires", fn.Name())
+		case acq:
+			ann[fn] = annAcquires
+		case ret:
+			ann[fn] = annRetires
+		}
+	}
+
+	// Without a counter in the package, annotated functions can still
+	// exist (wrappers over another package's runtime) but there is
+	// nothing to audit against.
+	if len(counters) == 0 && len(ann) == 0 {
+		return nil
+	}
+
+	summaries := make(map[*types.Func]bal)
+	effect := func(call *ast.CallExpr) bal {
+		if v, n, bad := counterAdd(info, counters, call); v {
+			if bad {
+				pass.Reportf(call.Pos(), "unauditable pending-counter update (non-constant delta or direct store); use Add with a constant")
+				return bal{}
+			}
+			return bal{n, n}
+		}
+		callee := staticCallee(info, call)
+		if callee == nil {
+			return bal{}
+		}
+		origin := callee.Origin()
+		switch ann[origin] {
+		case annAcquires:
+			// The acquired unit belongs to the in-flight work, not to
+			// this caller's scope.
+			return bal{}
+		case annRetires:
+			return bal{-1, -1}
+		}
+		if s, ok := summaries[origin]; ok {
+			return s
+		}
+		return bal{}
+	}
+
+	report := func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, format, args...)
+	}
+
+	// Evaluate in callees-first SCC order so unannotated helpers export
+	// their computed net effect to their callers.
+	absorbed := make(map[*ast.FuncLit]bool)
+	exitsOf := make(map[*types.Func][]balanceExit)
+	for _, comp := range cg.SCCs() {
+		for _, node := range comp {
+			exits := evalBalance(info, node.Decl.Body, effect, report, absorbed)
+			exitsOf[node.Fn] = exits
+			if ann[node.Fn] == annNone {
+				var sum bal
+				for i, x := range exits {
+					if i == 0 {
+						sum = x.Val
+					} else {
+						sum = sum.join(x.Val)
+					}
+				}
+				summaries[node.Fn] = sum
+			}
+		}
+	}
+
+	// Contract checks, in declaration order for stable output.
+	fns := make([]*types.Func, 0, len(exitsOf))
+	for fn := range exitsOf {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		name := fn.Name()
+		for _, x := range exitsOf[fn] {
+			switch ann[fn] {
+			case annAcquires:
+				if x.Val.Lo < 1 {
+					pass.Reportf(x.Pos,
+						"//paratreet:acquires-pending function %s acquires no pending unit on this path (net %s); every path must net at least +1",
+						name, x.Val)
+				}
+			case annRetires:
+				if !x.Val.exact(-1) {
+					pass.Reportf(x.Pos,
+						"//paratreet:retires function %s does not retire exactly one pending unit on this path (net %s)",
+						name, x.Val)
+				}
+			default:
+				if !x.Val.isZero() {
+					pass.Reportf(x.Pos,
+						"%s leaves the pending balance at %s on this path; retire what you acquire or annotate the handoff (//paratreet:acquires-pending, //paratreet:retires)",
+						name, x.Val)
+				}
+			}
+		}
+	}
+
+	// Function literals (goroutine bodies, stored callbacks) must be
+	// balance-neutral: nothing tracks a unit across a closure boundary.
+	// Deferred literals were folded into their enclosing function above.
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok || absorbed[lit] {
+				return true
+			}
+			for _, x := range evalBalance(info, lit.Body, effect, report, absorbed) {
+				if !x.Val.isZero() {
+					pass.Reportf(x.Pos,
+						"function literal leaves the pending balance at %s on this path; closures must be balance-neutral",
+						x.Val)
+				}
+			}
+			return false // inner literals were evaluated recursively
+		})
+	}
+	return nil
+}
+
+// isAtomicInt64 reports whether t is sync/atomic.Int64.
+func isAtomicInt64(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Int64" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// counterAdd matches <chain>.pending.Add(delta) on an audited counter.
+// isAdd reports a match; n is the constant delta; bad marks a
+// non-constant delta. Load and friends have no balance effect; Store,
+// Swap, and CAS on the counter are treated as unauditable.
+func counterAdd(info *types.Info, counters map[*types.Var]bool, call *ast.CallExpr) (isAdd bool, n int, bad bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false, 0, false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return false, 0, false
+	}
+	field := fieldObjOf(info, inner)
+	if field == nil || !counters[field] {
+		return false, 0, false
+	}
+	switch sel.Sel.Name {
+	case "Add":
+		if len(call.Args) != 1 {
+			return true, 0, true
+		}
+		tv, ok := info.Types[call.Args[0]]
+		if !ok || tv.Value == nil {
+			return true, 0, true
+		}
+		v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+		if !exact {
+			return true, 0, true
+		}
+		return true, int(v), false
+	case "Store", "Swap", "CompareAndSwap":
+		return true, 0, true
+	}
+	return false, 0, false
+}

@@ -3,6 +3,7 @@ package analysis_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"paratreet/internal/analysis"
@@ -40,24 +41,60 @@ func TestRepoIsLintClean(t *testing.T) {
 		t.Fatal("loader found no packages")
 	}
 
-	// The sweep must actually cover the observability surfaces: the
-	// tracer's emit paths and the trace exporter/analyzer carry hotpath/
-	// coldpath annotations whose enforcement this test is the proof of.
+	// The sweep must cover every package in the module — derived from the
+	// filesystem, not a hardcoded list, so a new internal/ or cmd/ package
+	// cannot silently escape the lint gate.
 	covered := map[string]bool{}
 	for _, p := range pkgs {
 		covered[p.Path] = true
 	}
-	for _, want := range []string{
-		"paratreet/internal/metrics",
-		"paratreet/internal/trace",
-		"paratreet/internal/rt",
-		"paratreet/internal/cache",
-		"paratreet/cmd/paratreet-trace",
-		"paratreet/cmd/paratreet-bench",
-	} {
-		if !covered[want] {
-			t.Errorf("lint sweep missing package %s", want)
+	var missing []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
 		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			name[0] == '.' || name[0] == '_') {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && filepath.Ext(n) == ".go" &&
+				!strings.HasSuffix(n, "_test.go") && n[0] != '.' {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		want := "paratreet"
+		if rel != "." {
+			want = "paratreet/" + filepath.ToSlash(rel)
+		}
+		if !covered[want] {
+			missing = append(missing, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range missing {
+		t.Errorf("lint sweep missing package %s", pkg)
 	}
 
 	diags, err := analysis.Run(pkgs, analysis.Analyzers())

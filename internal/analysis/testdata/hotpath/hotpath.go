@@ -21,13 +21,13 @@ func visit(xs []int) int {
 // step is reachable from visit through an intra-package call, so it
 // inherits the hotpath constraints.
 func step(x int) int {
-	t := time.Now()            // want `step \(reachable from hotpath visit\) calls time\.Now`
-	defer cleanup()            // want `uses defer`
-	m := make(map[int]int, 4)  // want `allocates a map`
-	lit := map[int]int{x: x}   // want `allocates a map`
+	t := time.Now()              // want `step \(reachable from hotpath visit\) calls time\.Now`
+	defer cleanup()              // want `uses defer`
+	m := make(map[int]int, 4)    // want `allocates a map`
+	lit := map[int]int{x: x}     // want `allocates a map`
 	f := func() int { return x } // want `creates a closure`
-	fmt.Println(x)             // want `calls fmt\.Println`
-	elapsed := time.Since(t)   // want `calls time\.Since`
+	fmt.Println(x)               // want `calls fmt\.Println`
+	elapsed := time.Since(t)     // want `calls time\.Since`
 	return len(m) + len(lit) + f() + int(elapsed)
 }
 

@@ -1,0 +1,153 @@
+// Package lockorder exercises the mutex-acquisition-order graph: a
+// two-class cycle, an edge discovered through an interface call, a
+// same-class nesting (the work-stealing pattern) with and without a
+// waiver, and lock acquisitions on hot paths.
+package lockorder
+
+import "sync"
+
+type a struct {
+	mu sync.Mutex
+	n  int
+}
+
+type b struct {
+	mu sync.Mutex
+	n  int
+}
+
+type c struct {
+	mu sync.Mutex
+	n  int
+}
+
+type r struct {
+	mu sync.RWMutex
+	n  int
+}
+
+var (
+	ga a
+	gb b
+	gc c
+	gr r
+)
+
+// abOrder acquires a.mu then b.mu.
+func abOrder() {
+	ga.mu.Lock()
+	gb.mu.Lock() // want `lock-order cycle: abOrder acquires b\.mu while holding a\.mu`
+	gb.n++
+	gb.mu.Unlock()
+	ga.n++
+	ga.mu.Unlock()
+}
+
+// baOrder acquires them in the opposite order, closing the cycle.
+func baOrder() {
+	gb.mu.Lock()
+	ga.mu.Lock() // want `lock-order cycle: baOrder acquires a\.mu while holding b\.mu`
+	ga.n++
+	ga.mu.Unlock()
+	gb.n++
+	gb.mu.Unlock()
+}
+
+// deferred holds a.mu to function end through a deferred unlock; its
+// a.mu -> b.mu edge is a repeat of abOrder's and reports only there.
+func deferred() {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	gb.mu.Lock()
+	gb.n++
+	gb.mu.Unlock()
+}
+
+type locker interface {
+	lockIt()
+}
+
+type cLocker struct{}
+
+func (cLocker) lockIt() {
+	gc.mu.Lock()
+	gc.n++
+	gc.mu.Unlock()
+}
+
+// viaIface acquires c.mu through interface dispatch while holding a.mu.
+func viaIface(l locker) {
+	ga.mu.Lock()
+	l.lockIt() // want `lock-order cycle: viaIface acquires c\.mu while holding a\.mu \(via call to lockIt\)`
+	ga.mu.Unlock()
+}
+
+// closeLoop acquires a.mu while holding c.mu, closing the second cycle.
+func closeLoop() {
+	gc.mu.Lock()
+	ga.mu.Lock() // want `lock-order cycle: closeLoop acquires a\.mu while holding c\.mu`
+	ga.n++
+	ga.mu.Unlock()
+	gc.mu.Unlock()
+}
+
+// readThenA nests r.mu -> a.mu; no opposite order exists, so the edge is
+// recorded but not reported.
+func readThenA() {
+	gr.mu.RLock()
+	ga.mu.Lock()
+	ga.n++
+	ga.mu.Unlock()
+	gr.mu.RUnlock()
+}
+
+// sequential never nests: unlock before the next lock means no edge.
+func sequential() {
+	ga.mu.Lock()
+	ga.n++
+	ga.mu.Unlock()
+	gb.mu.Lock()
+	gb.n++
+	gb.mu.Unlock()
+}
+
+// selfNest locks two instances of one class with no external order.
+func selfNest(x, y *a) {
+	x.mu.Lock()
+	y.mu.Lock() // want `selfNest acquires a\.mu while already holding a\.mu`
+	y.n = x.n
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// steal is the same shape, waived: self-edges report per site, so the
+// work-stealing deque's victim lock carries its own justification.
+func steal(w, v *a) {
+	w.mu.Lock()
+	//paratreet:allow(lockorder) victim-only locking, victims ordered by rank below the thief
+	v.mu.Lock()
+	w.n += v.n
+	v.mu.Unlock()
+	w.mu.Unlock()
+}
+
+// hotLocked puts a futex on the per-visit path.
+//
+//paratreet:hotpath
+func hotLocked() {
+	ga.mu.Lock() // want `hotpath function hotLocked acquires a\.mu`
+	ga.n++
+	ga.mu.Unlock()
+}
+
+//paratreet:hotpath
+func hotCaller() {
+	lockHelper()
+}
+
+// lockHelper inherits hotness from hotCaller through propagation.
+func lockHelper() {
+	gb.mu.Lock() // want `lockHelper \(reachable from hotpath hotCaller\) acquires b\.mu`
+	gb.n++
+	gb.mu.Unlock()
+}

@@ -1,0 +1,154 @@
+// Package pendingbalance is a miniature of the runtime's quiescence
+// accounting: a machine with a pending atomic.Int64 counter, send paths
+// that acquire units, and delivery paths that retire them. The bad cases
+// reproduce the PR 4 delivery bugs — an uncounted self-send and a
+// pre-dispatcher discard — as contract violations.
+package pendingbalance
+
+import "sync/atomic"
+
+type machine struct {
+	pending atomic.Int64
+}
+
+func (m *machine) wake() {}
+
+// pendingDone is the single audited decrement path.
+//
+//paratreet:retires
+func (m *machine) pendingDone() {
+	if m.pending.Add(-1) == 0 {
+		m.wake()
+	}
+}
+
+type proc struct {
+	m    *machine
+	rank int
+}
+
+func (p *proc) enqueue(to int) {
+	_ = to
+}
+
+// sendBad reproduces PR 4's uncounted self-send: the local-enqueue
+// shortcut returns without acquiring the unit the dispatcher will retire.
+//
+//paratreet:acquires-pending
+func (p *proc) sendBad(to int) {
+	if to == p.rank {
+		p.enqueue(to)
+		return // want `sendBad acquires no pending unit on this path \(net \+0\)`
+	}
+	p.m.pending.Add(1)
+	p.enqueue(to)
+}
+
+// sendGood may acquire one unit or two (duplicated delivery); the
+// contract is "at least one", which the interval domain expresses
+// without a false positive at the join.
+//
+//paratreet:acquires-pending
+func (p *proc) sendGood(to int, dup bool) {
+	p.m.pending.Add(1)
+	p.enqueue(to)
+	if dup {
+		p.m.pending.Add(1)
+		p.enqueue(to)
+	}
+}
+
+// wrapper is balance-neutral: sendGood's unit belongs to the in-flight
+// message, not to this caller's scope.
+func (p *proc) wrapper() {
+	p.sendGood(1, false)
+}
+
+// deliverBad reproduces PR 4's pre-dispatcher discard: dropping the
+// message without retiring its unit.
+//
+//paratreet:retires
+func (m *machine) deliverBad(installed bool) {
+	if !installed {
+		return // want `deliverBad does not retire exactly one pending unit on this path \(net \+0\)`
+	}
+	m.pendingDone()
+}
+
+//paratreet:retires
+func (m *machine) deliverGood(drop bool) {
+	if drop {
+		m.pendingDone()
+		return
+	}
+	m.pendingDone()
+}
+
+// retireDeferred retires via defer, which folds into every exit.
+//
+//paratreet:retires
+func (m *machine) retireDeferred() {
+	defer m.pendingDone()
+	m.wake()
+}
+
+// leak acquires without an annotation: flagged at its exit, and callers
+// see its computed +1 summary.
+func (m *machine) leak() {
+	m.pending.Add(1)
+} // want `leak leaves the pending balance at \+1 on this path`
+
+// handoff is balanced through leak's computed summary: +1 from the
+// helper, -1 from pendingDone.
+func (m *machine) handoff() {
+	m.leak()
+	m.pendingDone()
+}
+
+// maybeAcquire nets +0 or +1 depending on the branch — unprovable as
+// balance-neutral.
+func (m *machine) maybeAcquire(c bool) {
+	if c {
+		m.pending.Add(1)
+	}
+} // want `maybeAcquire leaves the pending balance at \+0\.\.\+1 on this path`
+
+// pump drains one unit per iteration without a waiver.
+func (m *machine) pump(n int) {
+	for i := 0; i < n; i++ { // want `loop body changes the pending balance by -1 per iteration`
+		m.pendingDone()
+	}
+}
+
+// pumpWaived models the runtime's comm loop: each iteration retires the
+// unit of the one message it pops.
+func (m *machine) pumpWaived(n int) {
+	//paratreet:allow(pendingbalance) each iteration retires the unit of the one message it pops
+	for i := 0; i < n; i++ {
+		m.pendingDone()
+	}
+}
+
+// goLeak launches a goroutine whose body nets +1; nothing tracks a unit
+// across a closure boundary.
+func (m *machine) goLeak() {
+	go func() {
+		m.pending.Add(1)
+	}() // want `function literal leaves the pending balance at \+1 on this path`
+}
+
+// addN uses a non-constant delta the audit cannot see through.
+func (m *machine) addN(n int64) {
+	m.pending.Add(n) // want `unauditable pending-counter update`
+}
+
+// reset stores directly over the counter.
+func (m *machine) reset() {
+	m.pending.Store(0) // want `unauditable pending-counter update`
+}
+
+// confused carries both marks; the conflict is its own finding.
+//
+//paratreet:acquires-pending
+//paratreet:retires
+func (m *machine) confused() {} // want `confused is marked both //paratreet:acquires-pending and //paratreet:retires`

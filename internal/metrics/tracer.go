@@ -164,6 +164,7 @@ func (t *Tracer) Emit(kind EventKind, name string, proc, worker int, flow uint64
 		StartNs: start.Sub(t.epoch).Nanoseconds(),
 		DurNs:   dur.Nanoseconds(),
 	}
+	//paratreet:allow(lockorder) ring append is a few stores; contention only among emitting workers
 	t.mu.Lock()
 	t.ring[t.next] = s
 	t.next++

@@ -33,7 +33,10 @@ const radixSerialCutoff = 1 << 12
 // SortByKey — using an LSD radix sort on the 63-bit SFC keys, with up to
 // workers goroutines cooperating on each pass (workers <= 1, or small
 // inputs, sort serially). It allocates transient pair and permutation
-// buffers sized to len(ps).
+// buffers sized to len(ps). Buffer allocation and goroutine fan-out make
+// it a per-frame entry point, not a per-visit one — explicitly cold.
+//
+//paratreet:coldpath
 func RadixSortByKey(ps []Particle, workers int) {
 	n := len(ps)
 	if n < 2 {
@@ -121,6 +124,8 @@ func radixPassesSerial(pairs, scratch []keyIdx) {
 // radixPassesParallel runs the needed byte passes with workers goroutines
 // per pass: parallel histogram, serial 256*workers prefix scan, parallel
 // scatter into disjoint output regions.
+//
+//paratreet:coldpath
 func radixPassesParallel(pairs, scratch []keyIdx, workers int) {
 	n := len(pairs)
 	used := usedBytes(pairs)

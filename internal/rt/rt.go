@@ -358,6 +358,8 @@ func (m *Machine) WaitQuiescence() {
 // canceled self-timer. It is the single audited decrement path matching
 // every pending.Add(1) in Send/Submit/SendSelfAfter, so quiescence
 // accounting cannot leak no matter which fate a message meets.
+//
+//paratreet:retires
 func (m *Machine) pendingDone() {
 	if m.pending.Add(-1) == 0 {
 		m.qmu.Lock()
@@ -632,6 +634,11 @@ func (p *Proc) SendLossy(to int, payload any, bytes int) {
 	p.send(to, payload, bytes, true)
 }
 
+// send acquires one pending unit per enqueued copy (two under wire-level
+// duplication); each unit is retired when deliver dispatches, drops, or
+// buffers that copy.
+//
+//paratreet:acquires-pending
 func (p *Proc) send(to int, payload any, bytes int, lossy bool) {
 	m := p.machine
 	if m.commMsgs != nil {
@@ -714,6 +721,8 @@ func (p *Proc) send(to int, payload any, bytes int, lossy bool) {
 // deadlines: an armed deadline keeps WaitQuiescence from declaring
 // quiescence while a lost fetch would otherwise leave parked traversals
 // stranded with no pending work anywhere.
+//
+//paratreet:acquires-pending
 func (p *Proc) SendSelfAfter(delay time.Duration, payload any) *Delayed {
 	d := &Delayed{m: p.machine}
 	p.machine.pending.Add(1)
@@ -733,11 +742,14 @@ type Delayed struct {
 // retiring its pending unit immediately; the dead entry is discarded when
 // the communication goroutine reaches it. Returns false when the message
 // already dispatched (or was canceled earlier).
+//
+//paratreet:retires
 func (d *Delayed) Cancel() bool {
 	if d.state.CompareAndSwap(0, 2) {
 		d.m.pendingDone()
 		return true
 	}
+	//paratreet:allow(pendingbalance) CAS loser: the dispatch path already retired this unit
 	return false
 }
 
@@ -781,6 +793,7 @@ func (p *Proc) Submit(task func()) {
 // stolen by siblings, so tasks sent to one worker serialize.
 //
 //paratreet:hotpath
+//paratreet:acquires-pending
 func (p *Proc) SubmitTo(workerID int, task func()) {
 	p.machine.pending.Add(1)
 	p.workers[workerID].push(task, true)
@@ -789,6 +802,7 @@ func (p *Proc) SubmitTo(workerID int, task func()) {
 // submitShared enqueues a stealable task on the given worker.
 //
 //paratreet:hotpath
+//paratreet:acquires-pending
 func (p *Proc) submitShared(workerID int, task func()) {
 	p.machine.pending.Add(1)
 	p.workers[workerID].push(task, false)
@@ -815,6 +829,7 @@ func (p *Proc) commLoop(wg *sync.WaitGroup) {
 	timer := time.NewTimer(time.Hour)
 	timer.Stop()
 	defer timer.Stop()
+	//paratreet:allow(pendingbalance) each iteration retires the unit of the one message it delivers
 	for {
 		p.inboxMu.Lock()
 		if p.inbox.len() == 0 {
@@ -857,10 +872,13 @@ func (p *Proc) commLoop(wg *sync.WaitGroup) {
 // canceled self-timers are discarded, injected pauses stall the goroutine,
 // injected drops are recorded and retired through the audited path, and
 // messages arriving before SetDispatcher are buffered rather than lost.
+//
+//paratreet:retires
 func (p *Proc) deliver(msg message) {
 	m := p.machine
 	if msg.delayed != nil && !msg.delayed.state.CompareAndSwap(0, 1) {
-		return // canceled: Cancel already retired the pending unit
+		//paratreet:allow(pendingbalance) CAS loser: Cancel already retired this unit
+		return
 	}
 	if msg.pause > 0 {
 		time.Sleep(msg.pause)
@@ -882,7 +900,8 @@ func (p *Proc) deliver(msg message) {
 		if fn = p.dispatcher.Load(); fn == nil {
 			p.predispatch = append(p.predispatch, msg)
 			p.preMu.Unlock()
-			return // still pending: the message is buffered, not delivered
+			//paratreet:allow(pendingbalance) the unit stays with the buffered message until the drain delivers it
+			return
 		}
 		p.preMu.Unlock()
 	}
@@ -973,6 +992,7 @@ type worker struct {
 
 //paratreet:hotpath
 func (w *worker) push(task func(), pin bool) {
+	//paratreet:allow(lockorder) deque critical section is one append; the deliberate tradeoff of a mutex deque
 	w.mu.Lock()
 	if pin {
 		w.pinned = append(w.pinned, task)
@@ -988,6 +1008,7 @@ func (w *worker) push(task func(), pin bool) {
 //
 //paratreet:hotpath
 func (w *worker) pop() func() {
+	//paratreet:allow(lockorder) deque critical section is one slice pop; the deliberate tradeoff of a mutex deque
 	w.mu.Lock()
 	if len(w.pinned) > 0 {
 		t := w.pinned[0]
@@ -1011,6 +1032,7 @@ func (w *worker) pop() func() {
 //
 //paratreet:hotpath
 func (w *worker) stealFrom(v *worker) func() {
+	//paratreet:allow(lockorder) steal runs only when idle; thief holds no lock of its own while locking the victim
 	v.mu.Lock()
 	if len(v.queue) == 0 {
 		v.mu.Unlock()
@@ -1056,6 +1078,7 @@ func (w *worker) run(wg *sync.WaitGroup) {
 	tr := w.proc.machine.tracer
 	idleSince := time.Time{}
 	sleep := time.Duration(0)
+	//paratreet:allow(pendingbalance) each iteration retires the unit of the one task it runs
 	for !w.proc.machine.stop.Load() {
 		t := w.next()
 		if t == nil {

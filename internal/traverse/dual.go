@@ -137,6 +137,7 @@ func (d *Dual[D, V]) Done() bool { return d.outstanding.Load() == 0 }
 //paratreet:hotpath
 func (d *Dual[D, V]) push(f dualFrame[D]) {
 	d.outstanding.Add(1)
+	//paratreet:allow(lockorder) frame-stack critical section is one append, uncontended off the pump
 	d.mu.Lock()
 	d.stack = append(d.stack, f)
 	d.mu.Unlock()
@@ -144,6 +145,7 @@ func (d *Dual[D, V]) push(f dualFrame[D]) {
 
 //paratreet:hotpath
 func (d *Dual[D, V]) pop() (dualFrame[D], bool) {
+	//paratreet:allow(lockorder) frame-stack critical section is one slice pop
 	d.mu.Lock()
 	if len(d.stack) == 0 {
 		d.mu.Unlock()
@@ -179,6 +181,7 @@ func (d *Dual[D, V]) pump() {
 			d.process(f)
 		}
 		d.running.Store(false)
+		//paratreet:allow(lockorder) lost-wakeup re-check runs once per pump drain, not per visit
 		d.mu.Lock()
 		empty := len(d.stack) == 0
 		d.mu.Unlock()

@@ -238,6 +238,7 @@ func (t *Traversal[D, V]) Done() bool { return t.outstanding.Load() == 0 }
 //paratreet:hotpath
 func (t *Traversal[D, V]) push(f frame[D]) {
 	t.outstanding.Add(1)
+	//paratreet:allow(lockorder) frame-stack critical section is one append, uncontended off the pump
 	t.mu.Lock()
 	t.stack = append(t.stack, f)
 	t.mu.Unlock()
@@ -245,6 +246,7 @@ func (t *Traversal[D, V]) push(f frame[D]) {
 
 //paratreet:hotpath
 func (t *Traversal[D, V]) pop() (frame[D], bool) {
+	//paratreet:allow(lockorder) frame-stack critical section is one slice pop
 	t.mu.Lock()
 	if len(t.stack) == 0 {
 		t.mu.Unlock()
@@ -288,6 +290,7 @@ func (t *Traversal[D, V]) pump() {
 		t.running.Store(false)
 		// Re-check: a frame may have been pushed between pop failure and
 		// clearing the flag; if so, try to become the pumper again.
+		//paratreet:allow(lockorder) lost-wakeup re-check runs once per pump drain, not per visit
 		t.mu.Lock()
 		empty := len(t.stack) == 0
 		t.mu.Unlock()

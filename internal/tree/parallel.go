@@ -2,7 +2,6 @@ package tree
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +32,8 @@ import (
 const spawnCutoff = 4096
 
 // buildParallel is the Workers>1 entry point dispatched from Build.
+//
+//paratreet:coldpath
 func buildParallel[D any](ps []particle.Particle, box vec.Box, rootKey uint64, rootLevel int, cfg *BuildConfig) *Node[D] {
 	var budget atomic.Int64
 	budget.Store(int64(cfg.Workers - 1))
@@ -101,6 +102,9 @@ func buildPar[D any](ps []particle.Particle, box vec.Box, key uint64, level, dep
 // spawnChild builds child slot i of n from sub, on a fresh goroutine if
 // sub is large enough and a worker token is available, inline otherwise.
 // SetChild on distinct slots is safe concurrently (atomic pointers).
+// Spawn decisions are per-subtree, not per-visit — explicitly cold.
+//
+//paratreet:coldpath
 func spawnChild[D any](n *Node[D], i int, sub []particle.Particle, box vec.Box, key uint64, level, depth int, cfg *BuildConfig, budget *atomic.Int64, wg *sync.WaitGroup) {
 	if len(sub) >= spawnCutoff && budget.Add(-1) >= 0 {
 		wg.Add(1)
@@ -130,6 +134,10 @@ func mortonPrefix(key uint64, level int) uint64 {
 // Morton-sorted slice by binary search on key prefixes: child i of the
 // node at (key, level) owns exactly the keys in
 // [prefix|i<<shift, prefix|(i+1)<<shift). Requires level < sfc.Bits.
+// The binary search is hand-rolled: sort.Search takes a closure, which
+// the hotpath contract forbids on the per-node build path.
+//
+//paratreet:hotpath
 func prefixPartition(ps []particle.Particle, key uint64, level int) [9]int {
 	prefix := mortonPrefix(key, level)
 	shift := 3 * uint(sfc.Bits-level-1)
@@ -137,10 +145,16 @@ func prefixPartition(ps []particle.Particle, key uint64, level int) [9]int {
 	bounds[8] = len(ps)
 	for i := 1; i < 8; i++ {
 		first := prefix | uint64(i)<<shift
-		lo := bounds[i-1]
-		bounds[i] = lo + sort.Search(len(ps)-lo, func(j int) bool {
-			return ps[lo+j].Key >= first
-		})
+		lo, hi := bounds[i-1], len(ps)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ps[mid].Key < first {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		bounds[i] = lo
 	}
 	return bounds
 }
@@ -150,6 +164,8 @@ func prefixPartition(ps []particle.Particle, key uint64, level int) [9]int {
 // parallel build. Children are folded in index order, so the result is
 // bit-identical to the serial Accumulate — concurrency changes where
 // child Data is computed, never the order it is combined.
+//
+//paratreet:coldpath
 func AccumulateParallel[D any](n *Node[D], acc Accumulator[D], workers int) D {
 	if workers <= 1 || n == nil {
 		return Accumulate(n, acc)

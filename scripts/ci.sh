@@ -12,8 +12,21 @@ go build ./...
 echo "==> go vet"
 go vet ./...
 
+echo "==> gofmt"
+# gofmt gate: the lint golden tests and waiver comments are line-anchored,
+# so formatting drift is a correctness hazard, not just style.
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "==> paratreet-lint"
-go run ./cmd/paratreet-lint ./...
+# The loader expands ./... over the whole module — internal/..., cmd/...,
+# examples/, and the root package — so every package faces the eight
+# analyzers (see `paratreet-lint -list`), waiver hygiene included.
+go run ./cmd/paratreet-lint ./internal/... ./cmd/... ./examples/... .
 
 echo "==> go test"
 go test ./...
