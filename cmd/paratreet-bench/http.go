@@ -1,45 +1,47 @@
 package main
 
 import (
-	"expvar"
 	"fmt"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
 	"os"
 
 	"paratreet/internal/experiments"
+	"paratreet/internal/metrics"
+	"paratreet/internal/serve"
 )
 
 // startHTTP serves live introspection while experiments run:
 //
 //	/debug/pprof/  net/http/pprof profiles (CPU, heap, goroutine, ...)
-//	/debug/vars    expvar, including a "paratreet" var holding the live
-//	               registry's counters/histograms/spans
+//	/debug/vars    expvar-style JSON, including a "paratreet" var holding
+//	               the live registry's counters/histograms/spans
 //	/snapshot      the live registry's snapshot as indented JSON
 //
 // "Live" means the registry of the most recently started simulation run;
 // snapshotting it concurrently with the run is safe (counters and the
 // span ring are lock-protected or sharded). Before the first run both
 // endpoints report null/503.
+//
+// Everything is registered on an instance-scoped mux via
+// serve.AttachIntrospection — nothing touches http.DefaultServeMux or the
+// global expvar table, so repeated -http sessions in one process (tests,
+// library embedders) cannot panic on duplicate registration.
 func startHTTP(addr string, c *experiments.MetricsCollector) {
-	expvar.Publish("paratreet", expvar.Func(func() any {
-		return c.Live().Snapshot()
-	}))
-	http.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		snap := c.Live().Snapshot()
-		if snap == nil {
-			http.Error(w, "no run started yet", http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := snap.WriteJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
+	mux := introspectionMux(c)
 	//paratreet:allow(leakcheck) introspection server intentionally lives for the process lifetime
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
+		if err := http.ListenAndServe(addr, mux); err != nil {
 			fmt.Fprintln(os.Stderr, "paratreet-bench: http:", err)
 		}
 	}()
+}
+
+// introspectionMux builds the instance-scoped handler startHTTP serves;
+// split out so tests can drive the endpoints without binding a port.
+func introspectionMux(c *experiments.MetricsCollector) *http.ServeMux {
+	mux := http.NewServeMux()
+	serve.AttachIntrospection(mux, func() *metrics.Snapshot {
+		return c.Live().Snapshot()
+	})
+	return mux
 }

@@ -8,7 +8,7 @@
 //	paratreet-bench <experiment> [flags]
 //
 // Experiments: fig3 fig9 fig10 fig11 fig12 fig13 table1 table2 table3 lb
-// fetchdepth sharedepth style knn all
+// fetchdepth sharedepth style knn serve all
 //
 // The extra "bench" subcommand runs the perf-trajectory benchmark set and
 // emits/compares benchfmt snapshots (see -bench-out, -bench-compare,
@@ -29,7 +29,6 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
-	"time"
 
 	"paratreet"
 	"paratreet/internal/experiments"
@@ -53,7 +52,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>  (the experiment may also come first)\n", os.Args[0])
-		fmt.Fprintln(os.Stderr, "experiments: fig3 fig9 fig10 fig11 fig12 fig13 table1 table2 table3 lb fetchdepth sharedepth style knn all bench")
+		fmt.Fprintln(os.Stderr, "experiments: fig3 fig9 fig10 fig11 fig12 fig13 table1 table2 table3 lb fetchdepth sharedepth style knn serve all bench")
 		flag.PrintDefaults()
 	}
 	// Go's flag package stops parsing at the first non-flag argument, so
@@ -97,7 +96,7 @@ func main() {
 		}
 	}
 	if *faults != "" {
-		fc, err := parseFaults(*faults)
+		fc, err := paratreet.ParseFaultSpec(*faults)
 		if err != nil {
 			fatal(err)
 		}
@@ -213,6 +212,8 @@ func run(w io.Writer, name string, opts experiments.Options, quick bool) error {
 		res, err = experiments.RunStyleComparison(opts)
 	case "knn":
 		res, err = experiments.RunKNN(opts)
+	case "serve":
+		res, err = experiments.RunServe(opts)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
@@ -290,53 +291,6 @@ func warnDroppedSpans(w io.Writer, snaps []*paratreet.MetricsSnapshot, traceCap 
 		fmt.Fprintf(w, "paratreet-bench: trace ring dropped %d of %d spans (%.1f%%); raise -trace above %d\n",
 			dropped, total, 100*float64(dropped)/float64(total), traceCap)
 	}
-}
-
-// parseFaults builds a FaultConfig from a comma-separated spec like
-// "drop=0.02,dup=0.02,jitter=200us,pause=1ms,pauseprob=0.01,seed=7".
-// Probabilities are in [0,1]; durations use Go syntax.
-func parseFaults(spec string) (*paratreet.FaultConfig, error) {
-	fc := &paratreet.FaultConfig{Seed: 1}
-	for _, tok := range strings.Split(spec, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(tok), "=")
-		if !ok {
-			return nil, fmt.Errorf("bad -faults entry %q (want key=value)", tok)
-		}
-		switch k {
-		case "drop", "dup", "pauseprob":
-			p, err := strconv.ParseFloat(v, 64)
-			if err != nil || p < 0 || p > 1 {
-				return nil, fmt.Errorf("bad -faults probability %q", tok)
-			}
-			switch k {
-			case "drop":
-				fc.DropProb = p
-			case "dup":
-				fc.DupProb = p
-			default:
-				fc.PauseProb = p
-			}
-		case "jitter", "pause":
-			d, err := time.ParseDuration(v)
-			if err != nil || d < 0 {
-				return nil, fmt.Errorf("bad -faults duration %q", tok)
-			}
-			if k == "jitter" {
-				fc.JitterMax = d
-			} else {
-				fc.PauseMax = d
-			}
-		case "seed":
-			s, err := strconv.ParseInt(v, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad -faults seed %q", tok)
-			}
-			fc.Seed = s
-		default:
-			return nil, fmt.Errorf("unknown -faults key %q (have drop dup jitter pause pauseprob seed)", k)
-		}
-	}
-	return fc, nil
 }
 
 // repoRoot finds the module root by walking up from the working directory

@@ -172,10 +172,9 @@ func TestWarnDroppedSpans(t *testing.T) {
 // /debug/pprof/ responds.
 func TestHTTPIntrospection(t *testing.T) {
 	c := &experiments.MetricsCollector{TraceCapacity: 16}
-	// Register the handlers; the listener itself binds an ephemeral port
-	// we never use — requests go through the test server below.
-	startHTTP("127.0.0.1:0", c)
-	srv := httptest.NewServer(http.DefaultServeMux)
+	// The handlers live on an instance-scoped mux (no DefaultServeMux or
+	// global expvar registration), so the test serves it directly.
+	srv := httptest.NewServer(introspectionMux(c))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {

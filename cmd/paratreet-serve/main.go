@@ -1,0 +1,251 @@
+// Command paratreet-serve holds a resident spatial tree and answers
+// ad-hoc kNN, fixed-radius range, and collision-probe queries over
+// HTTP/JSON. Concurrent requests are coalesced by a wave batcher into
+// shared traversal waves over the resident tree (see DESIGN.md §11).
+//
+// Usage:
+//
+//	paratreet-serve [flags]
+//
+// Endpoints:
+//
+//	POST /query/knn    {"pos":[x,y,z],"k":8}
+//	POST /query/range  {"pos":[x,y,z],"radius":0.05}
+//	POST /query/probe  {"pos":[x,y,z],"radius":0.01,"vel":[x,y,z],"dt":0.001}
+//	GET  /healthz /stats /snapshot /debug/vars /debug/pprof/
+//
+// SIGINT/SIGTERM drains gracefully: intake stops (503), queued and
+// in-flight waves complete and deliver, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"paratreet"
+	"paratreet/internal/particle"
+	"paratreet/internal/serve"
+	"paratreet/internal/trace"
+	"paratreet/internal/vec"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		n          = flag.Int("n", 40000, "resident particle count")
+		dist       = flag.String("dist", "clustered", "particle distribution: uniform, clustered, cosmo")
+		seed       = flag.Int64("seed", 42, "dataset seed")
+		procs      = flag.Int("procs", 4, "simulated processes")
+		wpp        = flag.Int("wpp", 2, "workers per simulated process")
+		treeKind   = flag.String("tree", "oct", "tree type: oct, kd, longest")
+		decompKind = flag.String("decomp", "sfc", "decomposition: sfc, hilbert, oct, orb")
+		policy     = flag.String("policy", "waitfree", "cache policy: waitfree, xwrite, single, perthread")
+		bucket     = flag.Int("bucket", 16, "max particles per leaf")
+		batch      = flag.Int("batch", 32, "max queries coalesced into one wave")
+		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "max time a query waits for co-batching")
+		queueCap   = flag.Int("queue", 0, "admission queue bound (0 = 4x batch)")
+		waves      = flag.Int("waves", 2, "max concurrently running waves")
+		timeout    = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+		faults     = flag.String("faults", "", "inject delivery faults, e.g. drop=0.02,dup=0.02,jitter=200us,seed=7")
+		rtTimers   = flag.Bool("rt-timers", true, "run batch flush timers on the simulated machine's delayed self-messages instead of host timers")
+		traceCap   = flag.Int("trace", 0, "trace-span ring capacity (0 = tracing off)")
+		traceOut   = flag.String("trace-out", "", "write spans as Chrome Trace Event JSON here on shutdown (implies -trace 65536 when -trace is unset)")
+		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot as JSON here on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *n, *dist, *seed, *procs, *wpp, *treeKind, *decompKind, *policy,
+		*bucket, *batch, *batchWait, *queueCap, *waves, *timeout, *faults, *rtTimers,
+		*traceCap, *traceOut, *metricsOut); err != nil {
+		fmt.Fprintf(os.Stderr, "paratreet-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, n int, dist string, seed int64, procs, wpp int,
+	treeKind, decompKind, policy string, bucket, batch int, batchWait time.Duration,
+	queueCap, waves int, timeout time.Duration, faults string, rtTimers bool,
+	traceCap int, traceOut, metricsOut string) error {
+	if traceOut != "" && traceCap == 0 {
+		traceCap = 65536
+	}
+	cfg := paratreet.Config{
+		Procs:          procs,
+		WorkersPerProc: wpp,
+		BucketSize:     bucket,
+		Metrics:        paratreet.NewMetricsRegistry(paratreet.MetricsOptions{TraceCapacity: traceCap}),
+	}
+	var err error
+	if cfg.Tree, err = parseTree(treeKind); err != nil {
+		return err
+	}
+	if cfg.Decomp, err = parseDecomp(decompKind); err != nil {
+		return err
+	}
+	if cfg.CachePolicy, err = parsePolicy(policy); err != nil {
+		return err
+	}
+	if faults != "" {
+		if cfg.Faults, err = paratreet.ParseFaultSpec(faults); err != nil {
+			return err
+		}
+	}
+
+	ps, err := makeParticles(dist, n, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paratreet-serve: building resident %s tree over %d %s particles (%d procs x %d workers)\n",
+		treeKind, n, dist, procs, wpp)
+	eng, err := serve.NewEngine(cfg, ps)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	scfg := serve.ServerConfig{
+		Batch: serve.BatchConfig{
+			MaxBatch: batch,
+			MaxWait:  batchWait,
+			MaxQueue: queueCap,
+			MaxWaves: waves,
+		},
+		DefaultTimeout: timeout,
+	}
+	if rtTimers {
+		scfg.Batch.AfterFunc = eng.TimerAfterFunc()
+	}
+	srv := serve.NewServer(eng, scfg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paratreet-serve: listening on http://%s\n", ln.Addr())
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		return err
+	}
+
+	// Graceful drain: stop accepting connections, finish in-flight HTTP
+	// exchanges, then flush every queued query through its wave.
+	fmt.Println("paratreet-serve: signal received, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "paratreet-serve: http shutdown: %v\n", err)
+	}
+	srv.Drain()
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "paratreet-serve: serve: %v\n", err)
+	}
+
+	if traceOut != "" || metricsOut != "" {
+		snap := eng.Snapshot()
+		if traceOut != "" {
+			if err := writeTrace(traceOut, snap); err != nil {
+				return err
+			}
+			fmt.Printf("paratreet-serve: wrote trace to %s\n", traceOut)
+		}
+		if metricsOut != "" {
+			if err := writeMetrics(metricsOut, snap); err != nil {
+				return err
+			}
+			fmt.Printf("paratreet-serve: wrote metrics to %s\n", metricsOut)
+		}
+	}
+	fmt.Println("paratreet-serve: drained, bye")
+	return nil
+}
+
+func makeParticles(dist string, n int, seed int64) ([]paratreet.Particle, error) {
+	box := vec.UnitBox()
+	switch dist {
+	case "uniform":
+		return particle.NewUniform(n, seed, box), nil
+	case "clustered":
+		return particle.NewClustered(n, seed, box, 8), nil
+	case "cosmo":
+		return particle.NewCosmological(n, seed, box), nil
+	}
+	return nil, fmt.Errorf("unknown -dist %q (uniform, clustered, cosmo)", dist)
+}
+
+func parseTree(s string) (paratreet.TreeType, error) {
+	switch s {
+	case "oct":
+		return paratreet.TreeOct, nil
+	case "kd":
+		return paratreet.TreeKD, nil
+	case "longest":
+		return paratreet.TreeLongestDim, nil
+	}
+	return 0, fmt.Errorf("unknown -tree %q (oct, kd, longest)", s)
+}
+
+func parseDecomp(s string) (paratreet.DecompType, error) {
+	switch s {
+	case "sfc":
+		return paratreet.DecompSFC, nil
+	case "hilbert":
+		return paratreet.DecompSFCHilbert, nil
+	case "oct":
+		return paratreet.DecompOct, nil
+	case "orb":
+		return paratreet.DecompORB, nil
+	}
+	return 0, fmt.Errorf("unknown -decomp %q (sfc, hilbert, oct, orb)", s)
+}
+
+func parsePolicy(s string) (paratreet.CachePolicy, error) {
+	switch s {
+	case "waitfree":
+		return paratreet.CacheWaitFree, nil
+	case "xwrite":
+		return paratreet.CacheXWrite, nil
+	case "single":
+		return paratreet.CacheSingleWorker, nil
+	case "perthread":
+		return paratreet.CachePerThread, nil
+	}
+	return 0, fmt.Errorf("unknown -policy %q (waitfree, xwrite, single, perthread)", s)
+}
+
+func writeTrace(dest string, snap *paratreet.MetricsSnapshot) error {
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, []*paratreet.MetricsSnapshot{snap}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeMetrics(dest string, snap *paratreet.MetricsSnapshot) error {
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -2,6 +2,8 @@ package paratreet
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"paratreet/internal/metrics"
@@ -90,6 +92,54 @@ func (c *Config) fetchTimeout() time.Duration {
 	// One round trip costs up to 2*(Latency+JitterMax) plus per-byte time
 	// and insert scheduling; the millisecond floor absorbs those.
 	return 2*(c.Latency+c.Faults.JitterMax) + 4*time.Millisecond
+}
+
+// ParseFaultSpec builds a FaultConfig from a comma-separated spec like
+// "drop=0.02,dup=0.02,jitter=200us,pause=1ms,pauseprob=0.01,seed=7" — the
+// syntax the paratreet-bench and paratreet-serve -faults flags accept.
+// Probabilities are in [0,1]; durations use Go syntax.
+func ParseFaultSpec(spec string) (*FaultConfig, error) {
+	fc := &FaultConfig{Seed: 1}
+	for _, tok := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(tok), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad faults entry %q (want key=value)", tok)
+		}
+		switch k {
+		case "drop", "dup", "pauseprob":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("bad faults probability %q", tok)
+			}
+			switch k {
+			case "drop":
+				fc.DropProb = p
+			case "dup":
+				fc.DupProb = p
+			default:
+				fc.PauseProb = p
+			}
+		case "jitter", "pause":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("bad faults duration %q", tok)
+			}
+			if k == "jitter" {
+				fc.JitterMax = d
+			} else {
+				fc.PauseMax = d
+			}
+		case "seed":
+			s, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad faults seed %q", tok)
+			}
+			fc.Seed = s
+		default:
+			return nil, fmt.Errorf("unknown faults key %q (have drop dup jitter pause pauseprob seed)", k)
+		}
+	}
+	return fc, nil
 }
 
 // Validate reports configuration errors.

@@ -170,6 +170,52 @@ func (s *State) maxBound() float64 {
 	return max
 }
 
+// openByBounds is the Open decision shared by Visitor and GenericVisitor:
+// descend when the source box is closer to some target particle than that
+// particle's current k-th neighbor.
+//
+//paratreet:hotpath
+func openByBounds(source vec.Box, target *traverse.Bucket) bool {
+	st := target.State.(*State)
+	// Cheap bucket-level rejection: no point inside the target box can be
+	// within the loosest per-particle bound of the source box when
+	// dist(box, center) > maxRadius + farthest(center within bucket).
+	if mb := st.maxBound(); !math.IsInf(mb, 1) {
+		lim := math.Sqrt(mb) + math.Sqrt(target.Box.FarDistSq(target.Box.Center()))
+		if source.DistSq(target.Box.Center()) > lim*lim {
+			return false
+		}
+	}
+	for i := range target.Particles {
+		if source.DistSq(target.Particles[i].Pos) < st.Heaps[i].bound() {
+			return true
+		}
+	}
+	return false
+}
+
+// leafInteract tries every source particle against every target heap, the
+// exact interaction shared by Visitor and GenericVisitor.
+//
+//paratreet:hotpath
+func leafInteract(source []particle.Particle, target *traverse.Bucket, excludeSelf bool) {
+	st := target.State.(*State)
+	for i := range target.Particles {
+		p := &target.Particles[i]
+		h := &st.Heaps[i]
+		for j := range source {
+			s := &source[j]
+			if excludeSelf && s.ID == p.ID {
+				continue
+			}
+			d2 := s.Pos.DistSq(p.Pos)
+			if d2 < h.bound() {
+				h.push(Neighbor{DistSq: d2, ID: s.ID, Pos: s.Pos, Mass: s.Mass, Vel: s.Vel})
+			}
+		}
+	}
+}
+
 // Visitor performs the k-nearest-neighbor search. Excluding the target
 // particle itself is standard (ExcludeSelf).
 type Visitor struct {
@@ -183,22 +229,7 @@ func (v Visitor) Open(source *tree.Node[Data], target *traverse.Bucket) bool {
 	if source.Data.N == 0 {
 		return false
 	}
-	st := target.State.(*State)
-	// Cheap bucket-level rejection: no point inside the target box can be
-	// within the loosest per-particle bound of the source box when
-	// dist(box, center) > maxRadius + farthest(center within bucket).
-	if mb := st.maxBound(); !math.IsInf(mb, 1) {
-		lim := math.Sqrt(mb) + math.Sqrt(target.Box.FarDistSq(target.Box.Center()))
-		if source.Box.DistSq(target.Box.Center()) > lim*lim {
-			return false
-		}
-	}
-	for i := range target.Particles {
-		if source.Box.DistSq(target.Particles[i].Pos) < st.Heaps[i].bound() {
-			return true
-		}
-	}
-	return false
+	return openByBounds(source.Box, target)
 }
 
 // Node implements traverse.Visitor: an unopened node contributes nothing.
@@ -209,21 +240,35 @@ func (v Visitor) Node(source *tree.Node[Data], target *traverse.Bucket) {}
 //
 //paratreet:hotpath
 func (v Visitor) Leaf(source *tree.Node[Data], target *traverse.Bucket) {
-	st := target.State.(*State)
-	for i := range target.Particles {
-		p := &target.Particles[i]
-		h := &st.Heaps[i]
-		for j := range source.Particles {
-			s := &source.Particles[j]
-			if v.ExcludeSelf && s.ID == p.ID {
-				continue
-			}
-			d2 := s.Pos.DistSq(p.Pos)
-			if d2 < h.bound() {
-				h.push(Neighbor{DistSq: d2, ID: s.ID, Pos: s.Pos, Mass: s.Mass, Vel: s.Vel})
-			}
-		}
+	leafInteract(source.Particles, target, v.ExcludeSelf)
+}
+
+// GenericVisitor runs the same k-nearest-neighbor search over a tree
+// whose node Data is not knn.Data — e.g. the serve subsystem's resident
+// collision tree, where one tree answers kNN, range, and probe queries.
+// Count extracts the subtree particle count used for empty-node pruning;
+// search state and results still live in the bucket's *State (Attach).
+type GenericVisitor[D any] struct {
+	ExcludeSelf bool
+	Count       func(d *D) int
+}
+
+// Open implements traverse.Visitor; see Visitor.Open.
+func (v GenericVisitor[D]) Open(source *tree.Node[D], target *traverse.Bucket) bool {
+	if v.Count(&source.Data) == 0 {
+		return false
 	}
+	return openByBounds(source.Box, target)
+}
+
+// Node implements traverse.Visitor: an unopened node contributes nothing.
+func (v GenericVisitor[D]) Node(source *tree.Node[D], target *traverse.Bucket) {}
+
+// Leaf implements traverse.Visitor; see Visitor.Leaf.
+//
+//paratreet:hotpath
+func (v GenericVisitor[D]) Leaf(source *tree.Node[D], target *traverse.Bucket) {
+	leafInteract(source.Particles, target, v.ExcludeSelf)
 }
 
 // Neighbors returns particle i's found neighbors (unsorted).

@@ -66,6 +66,27 @@ const (
 	HCacheInsert = "cache.insert_ns"
 	// HRTTask is the per-task execution time histogram.
 	HRTTask = "rt.task_ns"
+
+	// CServeRequests counts queries admitted into the serve batcher.
+	CServeRequests = "serve.requests"
+	// CServeWaves counts coalesced traversal waves the batcher launched.
+	CServeWaves = "serve.waves"
+	// CServeRejectedQueue counts queries rejected because the admission
+	// queue was full (the HTTP layer's 429).
+	CServeRejectedQueue = "serve.rejected_queue"
+	// CServeRejectedDeadline counts queries whose deadline expired while
+	// queued, rejected before their wave launched (the HTTP layer's 504).
+	CServeRejectedDeadline = "serve.rejected_deadline"
+	// CServeRejectedDraining counts queries rejected because the batcher
+	// was draining for shutdown (the HTTP layer's 503).
+	CServeRejectedDraining = "serve.rejected_draining"
+
+	// HServeBatchSize is the per-wave coalesced batch size histogram.
+	HServeBatchSize = "serve.batch_size"
+	// HServeQueueWait is the enqueue-to-wave-launch wait histogram (ns).
+	HServeQueueWait = "serve.queue_wait_ns"
+	// HServeWave is the wave execution time histogram (ns).
+	HServeWave = "serve.wave_ns"
 )
 
 // cacheLine is the assumed cache line size for shard padding.

@@ -43,6 +43,10 @@ const (
 	// EvRetry is the instant the cache re-sent a fetch whose fill missed
 	// its deadline; its flow id matches the original EvFetch.
 	EvRetry
+	// EvBatch is one coalesced query wave executed by the serve batcher:
+	// the span covers the wave's traversal time, and its name carries the
+	// batch size.
+	EvBatch
 
 	// NumEventKinds is the number of event kinds.
 	NumEventKinds
@@ -53,7 +57,7 @@ const (
 var eventKindNames = [NumEventKinds]string{
 	"phase", "task", "idle", "msg-send", "msg-recv",
 	"fetch", "fill", "park", "resume", "barrier",
-	"drop", "retry",
+	"drop", "retry", "batch",
 }
 
 // String implements fmt.Stringer.

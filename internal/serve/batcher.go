@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"paratreet/internal/metrics"
+)
+
+// Rejection errors Submit returns without running the query. The HTTP
+// layer maps them to 429 / 504 / 503.
+var (
+	// ErrOverloaded rejects a submission because the admission queue is
+	// full — the fast 429-style shed that keeps queue wait bounded.
+	ErrOverloaded = errors.New("serve: queue full")
+	// ErrDeadlineExceeded rejects a request whose deadline expired while
+	// it was still queued, before its wave launched.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded before wave launch")
+	// ErrDraining rejects new submissions during graceful shutdown.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// BatchConfig parameterizes a Batcher.
+type BatchConfig struct {
+	// MaxBatch flushes the queue into a wave once this many requests are
+	// pending (size trigger). Default 32.
+	MaxBatch int
+	// MaxWait flushes a nonempty queue this long after its oldest request
+	// arrived (latency trigger). Default 2ms.
+	MaxWait time.Duration
+	// MaxQueue bounds the pending queue; submissions beyond it are
+	// rejected with ErrOverloaded. Default 4*MaxBatch.
+	MaxQueue int
+	// MaxWaves bounds concurrently running waves; full batches past the
+	// bound stay queued until a slot frees. Default 2.
+	MaxWaves int
+	// AfterFunc schedules the flush timer: it runs fn after d once, and
+	// the returned cancel stops it (reporting whether it won the race).
+	// Nil uses host timers (time.AfterFunc); the serve daemon wires
+	// Engine.TimerAfterFunc so flush deadlines ride the simulated
+	// machine's delayed self-message timers instead.
+	AfterFunc func(d time.Duration, fn func()) func() bool
+	// Registry, when non-nil, records the serve.* counters and the batch
+	// size / queue wait / wave time histograms.
+	Registry *metrics.Registry
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxBatch
+	}
+	if c.MaxWaves <= 0 {
+		c.MaxWaves = 2
+	}
+	if c.AfterFunc == nil {
+		c.AfterFunc = func(d time.Duration, fn func()) func() bool {
+			t := time.AfterFunc(d, fn)
+			return t.Stop
+		}
+	}
+	return c
+}
+
+// Timing is the per-request breakdown returned to every caller: when the
+// request was enqueued, how long it waited for its wave to launch, how
+// long the wave's traversal took, and how many requests shared the wave.
+type Timing struct {
+	Enqueued  time.Time
+	QueueWait time.Duration
+	Wave      time.Duration
+	BatchSize int
+}
+
+// outcome is what a wave (or a rejection) delivers to one waiting Submit.
+type outcome[Resp any] struct {
+	resp   Resp
+	timing Timing
+	err    error
+}
+
+// pending is one queued request.
+type pending[Req, Resp any] struct {
+	req      Req
+	deadline time.Time
+	enqueued time.Time
+	done     chan outcome[Resp]
+}
+
+// Batcher coalesces concurrent Submit calls into batches and runs each
+// batch through one call of the wave executor. It is the request-level
+// analogue of the transposed traversal loop: where the engine amortizes
+// one tree walk across a partition's buckets, the batcher amortizes one
+// wave across in-flight requests.
+//
+// All state transitions happen in pump, under mu; Submit, the flush
+// timer, wave completion, and Drain all converge there.
+type Batcher[Req, Resp any] struct {
+	cfg BatchConfig
+	run func([]Req) ([]Resp, error)
+
+	mu       sync.Mutex
+	cond     *sync.Cond            // signaled on queue/inflight changes, for Drain
+	queue    []*pending[Req, Resp] // guarded by mu
+	inflight int                   // guarded by mu
+	draining bool                  // guarded by mu
+	timer    func() bool           // guarded by mu
+	timerAt  time.Time             // guarded by mu
+	timerGen uint64                // guarded by mu
+	waveWG   sync.WaitGroup
+
+	// Metrics handles, resolved once; all nil-safe when Registry is nil.
+	requests         *metrics.Counter
+	waves            *metrics.Counter
+	rejectedQueue    *metrics.Counter
+	rejectedDeadline *metrics.Counter
+	rejectedDraining *metrics.Counter
+	batchSize        *metrics.Histogram
+	queueWait        *metrics.Histogram
+	waveTime         *metrics.Histogram
+	tracer           *metrics.Tracer
+}
+
+// NewBatcher constructs a batcher over the wave executor run, which
+// receives one coalesced batch and returns positional responses.
+func NewBatcher[Req, Resp any](cfg BatchConfig, run func([]Req) ([]Resp, error)) *Batcher[Req, Resp] {
+	cfg = cfg.withDefaults()
+	b := &Batcher[Req, Resp]{
+		cfg:              cfg,
+		run:              run,
+		requests:         cfg.Registry.Counter(metrics.CServeRequests),
+		waves:            cfg.Registry.Counter(metrics.CServeWaves),
+		rejectedQueue:    cfg.Registry.Counter(metrics.CServeRejectedQueue),
+		rejectedDeadline: cfg.Registry.Counter(metrics.CServeRejectedDeadline),
+		rejectedDraining: cfg.Registry.Counter(metrics.CServeRejectedDraining),
+		batchSize:        cfg.Registry.Histogram(metrics.HServeBatchSize),
+		queueWait:        cfg.Registry.Histogram(metrics.HServeQueueWait),
+		waveTime:         cfg.Registry.Histogram(metrics.HServeWave),
+		tracer:           cfg.Registry.Tracer(),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Submit enqueues one request and blocks until its wave completes (or it
+// is rejected). deadline zero means no deadline; a request whose deadline
+// passes while queued is rejected with ErrDeadlineExceeded before any
+// wave runs it. The returned Timing is valid whenever err is nil.
+func (b *Batcher[Req, Resp]) Submit(req Req, deadline time.Time) (Resp, Timing, error) {
+	var zero Resp
+	p := &pending[Req, Resp]{
+		req:      req,
+		deadline: deadline,
+		enqueued: time.Now(),
+		done:     make(chan outcome[Resp], 1),
+	}
+	b.mu.Lock()
+	if b.draining {
+		b.mu.Unlock()
+		b.rejectedDraining.Inc(0)
+		return zero, Timing{}, ErrDraining
+	}
+	if len(b.queue) >= b.cfg.MaxQueue {
+		b.mu.Unlock()
+		b.rejectedQueue.Inc(0)
+		return zero, Timing{}, ErrOverloaded
+	}
+	b.queue = append(b.queue, p)
+	b.requests.Inc(0)
+	b.mu.Unlock()
+	b.pump()
+	out := <-p.done
+	return out.resp, out.timing, out.err
+}
+
+// Drain stops intake (new Submits fail with ErrDraining), flushes every
+// queued request through its wave, and blocks until all in-flight waves
+// have delivered. Safe to call more than once.
+func (b *Batcher[Req, Resp]) Drain() {
+	b.mu.Lock()
+	b.draining = true
+	b.mu.Unlock()
+	b.pump()
+	b.mu.Lock()
+	for len(b.queue) > 0 || b.inflight > 0 {
+		b.cond.Wait()
+	}
+	if b.timer != nil {
+		b.timer()
+		b.timer = nil
+	}
+	b.mu.Unlock()
+	b.waveWG.Wait()
+}
+
+// pump advances the batcher state machine: it expires overdue requests,
+// launches due batches into free wave slots, and keeps the flush timer
+// armed for the next edge. It is the single place guarded state changes,
+// and every path converges here — Submit, the flush timer, wave
+// completion, and Drain — so it must be safe to call at any time from any
+// goroutine (extra calls are no-ops).
+func (b *Batcher[Req, Resp]) pump() {
+	now := time.Now()
+	var launches [][]*pending[Req, Resp]
+	b.mu.Lock()
+	// Reject requests whose deadline passed while queued, before their
+	// wave launches.
+	keep := b.queue[:0]
+	for _, p := range b.queue {
+		if !p.deadline.IsZero() && !now.Before(p.deadline) {
+			b.rejectedDeadline.Inc(0)
+			p.done <- outcome[Resp]{err: ErrDeadlineExceeded}
+			continue
+		}
+		keep = append(keep, p)
+	}
+	b.queue = keep
+	// Launch while a batch is due (full, overdue, or draining) and a wave
+	// slot is free.
+	for len(b.queue) > 0 && b.inflight < b.cfg.MaxWaves &&
+		(len(b.queue) >= b.cfg.MaxBatch || b.draining || !now.Before(b.queue[0].enqueued.Add(b.cfg.MaxWait))) {
+		n := len(b.queue)
+		if n > b.cfg.MaxBatch {
+			n = b.cfg.MaxBatch
+		}
+		batch := make([]*pending[Req, Resp], n)
+		copy(batch, b.queue[:n])
+		rest := copy(b.queue, b.queue[n:])
+		for i := rest; i < len(b.queue); i++ {
+			b.queue[i] = nil
+		}
+		b.queue = b.queue[:rest]
+		b.inflight++
+		b.waves.Inc(0)
+		launches = append(launches, batch)
+	}
+	// Keep the flush timer armed for the earliest future edge: the oldest
+	// request's MaxWait flush or the earliest queued deadline.
+	if len(b.queue) > 0 {
+		due := b.queue[0].enqueued.Add(b.cfg.MaxWait)
+		for _, p := range b.queue {
+			if !p.deadline.IsZero() && p.deadline.Before(due) {
+				due = p.deadline
+			}
+		}
+		if b.timer == nil || due.Before(b.timerAt) {
+			if b.timer != nil {
+				b.timer()
+			}
+			d := due.Sub(now)
+			if d < 0 {
+				d = 0
+			}
+			b.timerGen++
+			gen := b.timerGen
+			b.timer = b.cfg.AfterFunc(d, func() { b.onTimer(gen) })
+			b.timerAt = due
+		}
+	} else if b.timer != nil {
+		b.timer()
+		b.timer = nil
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	for _, batch := range launches {
+		batch := batch
+		b.waveWG.Add(1)
+		go func() {
+			defer b.waveWG.Done()
+			b.runWave(batch)
+		}()
+	}
+}
+
+// onTimer is the flush timer callback: it retires the armed-timer record
+// (unless a newer timer superseded it) and pumps.
+func (b *Batcher[Req, Resp]) onTimer(gen uint64) {
+	b.mu.Lock()
+	if gen == b.timerGen {
+		b.timer = nil
+		b.timerAt = time.Time{}
+	}
+	b.mu.Unlock()
+	b.pump()
+}
+
+// runWave executes one batch through the wave executor and delivers each
+// request's response and timing breakdown, then frees the wave slot.
+func (b *Batcher[Req, Resp]) runWave(batch []*pending[Req, Resp]) {
+	start := time.Now()
+	reqs := make([]Req, len(batch))
+	for i, p := range batch {
+		reqs[i] = p.req
+	}
+	resps, err := b.run(reqs)
+	waveDur := time.Since(start)
+	if err == nil && len(resps) != len(batch) {
+		err = fmt.Errorf("serve: wave executor returned %d responses for %d requests", len(resps), len(batch))
+	}
+	b.batchSize.Observe(int64(len(batch)))
+	b.waveTime.Observe(waveDur.Nanoseconds())
+	if b.tracer != nil {
+		b.tracer.Emit(metrics.EvBatch, fmt.Sprintf("wave[%d]", len(batch)), -1, -1, 0, start, waveDur)
+	}
+	for i, p := range batch {
+		wait := start.Sub(p.enqueued)
+		b.queueWait.Observe(wait.Nanoseconds())
+		out := outcome[Resp]{timing: Timing{
+			Enqueued:  p.enqueued,
+			QueueWait: wait,
+			Wave:      waveDur,
+			BatchSize: len(batch),
+		}}
+		if err != nil {
+			out.err = err
+		} else {
+			out.resp = resps[i]
+		}
+		p.done <- out
+	}
+	b.mu.Lock()
+	b.inflight--
+	b.mu.Unlock()
+	b.pump()
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoRun is a trivial wave executor: each request maps to itself.
+func echoRun(reqs []int) ([]int, error) {
+	out := make([]int, len(reqs))
+	copy(out, reqs)
+	return out, nil
+}
+
+// TestBatcherSizeFlush proves the size trigger: with MaxWait far away,
+// MaxBatch concurrent submitters coalesce into exactly one wave.
+func TestBatcherSizeFlush(t *testing.T) {
+	const n = 8
+	var mu sync.Mutex
+	var batches [][]int
+	b := NewBatcher[int, int](BatchConfig{MaxBatch: n, MaxWait: 5 * time.Second}, func(reqs []int) ([]int, error) {
+		mu.Lock()
+		batches = append(batches, append([]int(nil), reqs...))
+		mu.Unlock()
+		return echoRun(reqs)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, tm, err := b.Submit(i, time.Time{})
+			if err != nil {
+				t.Errorf("Submit(%d): %v", i, err)
+				return
+			}
+			if resp != i {
+				t.Errorf("Submit(%d) = %d", i, resp)
+			}
+			if tm.BatchSize != n {
+				t.Errorf("Submit(%d) batch size = %d, want %d", i, tm.BatchSize, n)
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.Drain()
+	if len(batches) != 1 || len(batches[0]) != n {
+		t.Fatalf("got %d batches %v, want one batch of %d", len(batches), batches, n)
+	}
+}
+
+// TestBatcherMaxWaitFlush proves the latency trigger: a lone request is
+// flushed once MaxWait elapses, without waiting for a full batch.
+func TestBatcherMaxWaitFlush(t *testing.T) {
+	b := NewBatcher[int, int](BatchConfig{MaxBatch: 100, MaxWait: 10 * time.Millisecond}, echoRun)
+	defer b.Drain()
+	start := time.Now()
+	resp, tm, err := b.Submit(7, time.Time{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if resp != 7 || tm.BatchSize != 1 {
+		t.Fatalf("Submit = %d (batch %d), want 7 (batch 1)", resp, tm.BatchSize)
+	}
+	if wait := time.Since(start); wait < 10*time.Millisecond {
+		t.Fatalf("flushed after %v, before MaxWait", wait)
+	}
+}
+
+// blockingBatcher builds a MaxBatch=1, MaxWaves=1 batcher whose wave
+// executor blocks until gate is closed, so tests can hold the single wave
+// slot occupied.
+func blockingBatcher(cfg BatchConfig, gate chan struct{}) *Batcher[int, int] {
+	cfg.MaxBatch = 1
+	cfg.MaxWaves = 1
+	return NewBatcher[int, int](cfg, func(reqs []int) ([]int, error) {
+		<-gate
+		return echoRun(reqs)
+	})
+}
+
+// TestBatcherDeadlineExceeded proves deadline rejection happens while
+// queued, before any wave runs the request.
+func TestBatcherDeadlineExceeded(t *testing.T) {
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var ran []int
+	b := NewBatcher[int, int](BatchConfig{MaxBatch: 1, MaxWaves: 1, MaxWait: time.Hour}, func(reqs []int) ([]int, error) {
+		<-gate
+		mu.Lock()
+		ran = append(ran, reqs...)
+		mu.Unlock()
+		return echoRun(reqs)
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := b.Submit(1, time.Time{}); err != nil {
+			t.Errorf("Submit(1): %v", err)
+		}
+	}()
+	waitInflight(t, b, 1)
+	// The wave slot is now held; this request's deadline expires queued.
+	_, _, err := b.Submit(2, time.Now().Add(20*time.Millisecond))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Submit(2) err = %v, want ErrDeadlineExceeded", err)
+	}
+	close(gate)
+	wg.Wait()
+	b.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ran) != 1 || ran[0] != 1 {
+		t.Fatalf("waves ran %v, want only [1]: the expired request must never reach a wave", ran)
+	}
+}
+
+// TestBatcherOverload proves the bounded-queue fast rejection: with the
+// wave slot held and the queue full, new submissions fail immediately.
+func TestBatcherOverload(t *testing.T) {
+	gate := make(chan struct{})
+	b := blockingBatcher(BatchConfig{MaxQueue: 2, MaxWait: time.Hour}, gate)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ { // one in flight + two queued
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := b.Submit(i, time.Time{}); err != nil {
+				t.Errorf("Submit(%d): %v", i, err)
+			}
+		}(i)
+	}
+	waitInflight(t, b, 1)
+	waitQueued(t, b, 2)
+	start := time.Now()
+	_, _, err := b.Submit(99, time.Time{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Submit over capacity err = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("overload rejection took %v, want immediate", d)
+	}
+	close(gate)
+	wg.Wait()
+	b.Drain()
+}
+
+// TestBatcherDrain proves graceful shutdown: queued requests still
+// complete through their waves, and intake rejects afterwards.
+func TestBatcherDrain(t *testing.T) {
+	var mu sync.Mutex
+	total := 0
+	// MaxBatch larger than the submissions and MaxWait far away: nothing
+	// would flush these requests except the drain itself.
+	b := NewBatcher[int, int](BatchConfig{MaxBatch: 16, MaxWait: time.Hour}, func(reqs []int) ([]int, error) {
+		mu.Lock()
+		total += len(reqs)
+		mu.Unlock()
+		return echoRun(reqs)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _, err := b.Submit(i, time.Time{})
+			if err != nil || resp != i {
+				t.Errorf("Submit(%d) = %d, %v", i, resp, err)
+			}
+		}(i)
+	}
+	waitQueued(t, b, 3)
+	b.Drain()
+	wg.Wait()
+	mu.Lock()
+	if total != 3 {
+		t.Errorf("drained waves ran %d requests, want 3", total)
+	}
+	mu.Unlock()
+	if _, _, err := b.Submit(9, time.Time{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after Drain err = %v, want ErrDraining", err)
+	}
+	b.Drain() // idempotent
+}
+
+// TestBatcherExecutorShape proves a wave executor returning the wrong
+// response count fails every request in the batch instead of misrouting.
+func TestBatcherExecutorShape(t *testing.T) {
+	b := NewBatcher[int, int](BatchConfig{MaxBatch: 1}, func(reqs []int) ([]int, error) {
+		return nil, nil
+	})
+	defer b.Drain()
+	if _, _, err := b.Submit(1, time.Time{}); err == nil {
+		t.Fatal("Submit succeeded despite executor returning no responses")
+	}
+}
+
+func waitInflight(t *testing.T, b *Batcher[int, int], want int) {
+	t.Helper()
+	waitCond(t, func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.inflight == want
+	}, "inflight waves")
+}
+
+func waitQueued(t *testing.T, b *Batcher[int, int], want int) {
+	t.Helper()
+	waitCond(t, func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.queue) == want
+	}, "queued requests")
+}
+
+func waitCond(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

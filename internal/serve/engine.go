@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paratreet"
+	"paratreet/internal/collision"
+	"paratreet/internal/core"
+	"paratreet/internal/knn"
+	"paratreet/internal/metrics"
+	"paratreet/internal/particle"
+	"paratreet/internal/traverse"
+	"paratreet/internal/vec"
+)
+
+// Engine holds the resident tree and answers query batches with traversal
+// waves. The tree is built once at construction (and on Refresh) over
+// collision.Data, whose per-node particle count and radius/speed bounds
+// serve all three query kinds. Waves run concurrently under a read lock;
+// Refresh takes the write lock, so builds never race in-flight queries.
+type Engine struct {
+	// mu is the build/query reader-writer split: every wave holds the
+	// read side, Refresh holds the write side.
+	mu    sync.RWMutex
+	sim   *paratreet.Simulation[collision.Data]
+	procs int
+	reg   *metrics.Registry
+
+	// curWaves/peakWaves gauge wave concurrency over the shared tree,
+	// the observable the race-mode acceptance test asserts on.
+	curWaves  atomic.Int64
+	peakWaves atomic.Int64
+
+	// Timer plumbing for TimerAfterFunc, riding the simulated machine's
+	// delayed self-messages.
+	timerInit sync.Once
+	timerMu   sync.Mutex
+	timerSeq  uint64            // guarded by timerMu
+	timers    map[uint64]func() // guarded by timerMu
+}
+
+// NewEngine builds the resident tree over ps (taking ownership) with the
+// given simulation config and returns the ready-to-query engine. Close
+// releases the simulated machine.
+func NewEngine(cfg paratreet.Config, ps []paratreet.Particle) (*Engine, error) {
+	sim, err := paratreet.NewSimulation(cfg, collision.Accumulator{}, collision.Codec{}, ps)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.BuildOnly(); err != nil {
+		sim.Close()
+		return nil, err
+	}
+	return &Engine{sim: sim, procs: sim.Machine().NumProcs(), reg: cfg.Metrics}, nil
+}
+
+// Close stops the underlying simulated machine. Callers drain in-flight
+// waves first (Batcher.Drain / Server.Drain).
+func (e *Engine) Close() { e.sim.Close() }
+
+// Refresh rebuilds the resident tree, optionally over a replacement
+// particle set (nil keeps the current one). It excludes query waves for
+// the duration of the build; callers with a Batcher in front should let
+// the queue go idle first, since an armed flush timer from TimerAfterFunc
+// holds a quiescence pending unit the build would wait on.
+func (e *Engine) Refresh(ps []paratreet.Particle) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ps != nil {
+		if err := e.sim.SetParticles(ps); err != nil {
+			return err
+		}
+	}
+	return e.sim.BuildOnly()
+}
+
+// Registry returns the metrics registry the engine's simulation reports
+// into (nil when Config.Metrics was not set).
+func (e *Engine) Registry() *metrics.Registry { return e.reg }
+
+// Snapshot returns the live observability snapshot (nil without metrics).
+func (e *Engine) Snapshot() *metrics.Snapshot { return e.sim.MetricsSnapshot() }
+
+// NumParticles returns the resident dataset size.
+func (e *Engine) NumParticles() int { return len(e.sim.Particles()) }
+
+// Procs returns the simulated process count serving waves.
+func (e *Engine) Procs() int { return e.procs }
+
+// PeakConcurrentWaves returns the largest number of waves ever observed
+// in flight simultaneously.
+func (e *Engine) PeakConcurrentWaves() int64 { return e.peakWaves.Load() }
+
+// RunBatch answers one coalesced batch of queries with a single traversal
+// wave: queries become single-particle buckets, grouped by (proc, kind)
+// into one transposed top-down traversal each, so coalesced queries share
+// tree-node visits exactly like the paper's bucket-transposed loop shares
+// them across buckets. Safe for concurrent use; answers are positional.
+func (e *Engine) RunBatch(qs []Query) ([]Answer, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	for i := range qs {
+		if err := qs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	cur := e.curWaves.Add(1)
+	defer e.curWaves.Add(-1)
+	for {
+		peak := e.peakWaves.Load()
+		if cur <= peak || e.peakWaves.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+
+	// One bucket per query, grouped by home proc (round-robin) and kind.
+	buckets := make([]*traverse.Bucket, len(qs))
+	groups := make([][numQueryKinds][]*traverse.Bucket, e.procs)
+	for i := range qs {
+		q := &qs[i]
+		home := i % e.procs
+		b := &traverse.Bucket{
+			Box:       vec.NewBox(q.Pos, q.Pos),
+			Particles: []particle.Particle{{ID: -1, Pos: q.Pos, Vel: q.Vel, Radius: q.Radius}},
+			Home:      home,
+		}
+		switch q.Kind {
+		case KNN:
+			knn.Attach([]*traverse.Bucket{b}, q.K)
+		case Range:
+			b.State = &rangeState{r2: q.Radius * q.Radius}
+		case Probe:
+			b.State = &probeState{radius: q.Radius, speed: q.Vel.Norm(), dt: q.Dt}
+		}
+		buckets[i] = b
+		groups[home][q.Kind] = append(groups[home][q.Kind], b)
+	}
+
+	w := e.sim.NewWave()
+	for p := 0; p < e.procs; p++ {
+		if bs := groups[p][KNN]; len(bs) > 0 {
+			paratreet.WaveDown(w, p, bs, knn.GenericVisitor[collision.Data]{
+				Count: func(d *collision.Data) int { return d.N },
+			})
+		}
+		if bs := groups[p][Range]; len(bs) > 0 {
+			paratreet.WaveDown(w, p, bs, rangeVisitor{})
+		}
+		if bs := groups[p][Probe]; len(bs) > 0 {
+			paratreet.WaveDown(w, p, bs, probeVisitor{})
+		}
+	}
+	w.Wait()
+
+	out := make([]Answer, len(qs))
+	for i := range qs {
+		out[i] = answerOf(&qs[i], buckets[i])
+	}
+	return out, nil
+}
+
+// answerOf extracts one query's deterministically ordered answer from its
+// bucket state after the wave.
+func answerOf(q *Query, b *traverse.Bucket) Answer {
+	var hits []Hit
+	switch q.Kind {
+	case KNN:
+		st := b.State.(*knn.State)
+		nbrs := st.Neighbors(0)
+		hits = make([]Hit, 0, len(nbrs))
+		for _, n := range nbrs {
+			hits = append(hits, Hit{ID: n.ID, Dist: math.Sqrt(n.DistSq), Pos: n.Pos})
+		}
+	case Range:
+		hits = b.State.(*rangeState).hits
+	case Probe:
+		hits = b.State.(*probeState).hits
+	}
+	if q.Kind == Probe {
+		sort.Slice(hits, func(i, j int) bool { return hits[i].ID < hits[j].ID })
+	} else {
+		sort.Slice(hits, func(i, j int) bool {
+			if hits[i].Dist != hits[j].Dist {
+				return hits[i].Dist < hits[j].Dist
+			}
+			return hits[i].ID < hits[j].ID
+		})
+	}
+	return Answer{Hits: hits}
+}
+
+// serveTimerTag routes TimerAfterFunc's delayed self-messages through the
+// world's raw-message dispatcher.
+const serveTimerTag = "serve.timer"
+
+// TimerAfterFunc returns a BatchConfig.AfterFunc implementation riding
+// the simulated machine's delayed self-message timers (rt.SendSelfAfter /
+// Delayed.Cancel) — the same machinery the cache's fetch-retry deadlines
+// use — instead of host timers. Callbacks run on proc 0's communication
+// goroutine and must not block. An armed timer holds one quiescence
+// pending unit until it fires or is canceled, which is exactly why waves
+// complete via per-traversal callbacks rather than WaitQuiescence; only
+// the build path (Refresh) waits for quiescence, and it runs with the
+// batcher idle.
+func (e *Engine) TimerAfterFunc() func(time.Duration, func()) func() bool {
+	e.timerInit.Do(func() {
+		e.sim.World().SetRawHandler(func(self, from int, msg core.RawMsg) {
+			if msg.Tag != serveTimerTag || len(msg.Blob) < 8 {
+				return
+			}
+			id := binary.LittleEndian.Uint64(msg.Blob)
+			e.timerMu.Lock()
+			fn := e.timers[id]
+			delete(e.timers, id)
+			e.timerMu.Unlock()
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+	return func(d time.Duration, fn func()) func() bool {
+		e.timerMu.Lock()
+		e.timerSeq++
+		id := e.timerSeq
+		if e.timers == nil {
+			e.timers = make(map[uint64]func())
+		}
+		e.timers[id] = fn
+		e.timerMu.Unlock()
+		var blob [8]byte
+		binary.LittleEndian.PutUint64(blob[:], id)
+		delayed := e.sim.Machine().Proc(0).SendSelfAfter(d, core.RawMsg{Tag: serveTimerTag, Blob: blob[:]})
+		return func() bool {
+			if !delayed.Cancel() {
+				return false
+			}
+			e.timerMu.Lock()
+			delete(e.timers, id)
+			e.timerMu.Unlock()
+			return true
+		}
+	}
+}

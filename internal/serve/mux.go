@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"paratreet/internal/metrics"
+)
+
+// AttachIntrospection registers the live-introspection endpoints on mux:
+//
+//	/debug/pprof/  net/http/pprof profiles (CPU, heap, goroutine, ...)
+//	/debug/vars    expvar-style JSON: the process globals (cmdline,
+//	               memstats) plus a "paratreet" var holding the live
+//	               metrics snapshot
+//	/snapshot      the live metrics snapshot as indented JSON
+//
+// snapshot supplies the live registry view and may return nil (both
+// endpoints then report null/503). Everything is instance-scoped: nothing
+// touches http.DefaultServeMux or the global expvar table, so bench and
+// serve can't panic on double registration and tests can spin up any
+// number of servers in one process.
+func AttachIntrospection(mux *http.ServeMux, snapshot func() *metrics.Snapshot) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		first := true
+		// The process-global expvars (cmdline, memstats) registered by the
+		// expvar package itself; reading Do is safe, only Publish is the
+		// global-registration hazard this mux avoids.
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value.String())
+		})
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		live, err := json.Marshal(snapshot())
+		if err != nil {
+			live = []byte("null")
+		}
+		fmt.Fprintf(w, "%q: %s", "paratreet", live)
+		fmt.Fprintf(w, "\n}\n")
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		snap := snapshot()
+		if snap == nil {
+			http.Error(w, "no metrics registry live", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := snap.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

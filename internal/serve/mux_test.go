@@ -1,0 +1,79 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"paratreet/internal/metrics"
+	"paratreet/internal/serve"
+)
+
+// TestAttachIntrospectionInstanceScoped proves the introspection
+// endpoints are instance-scoped: two attachments in one process (the
+// global expvar/DefaultServeMux failure mode), /debug/vars emitting
+// parseable JSON that carries the live snapshot, and /snapshot
+// degrading to 503 when no registry is live.
+func TestAttachIntrospectionInstanceScoped(t *testing.T) {
+	reg := metrics.NewRegistry(metrics.Options{})
+	reg.Counter(metrics.CServeRequests).Inc(0)
+
+	// Two servers in one process: global registration would panic here.
+	withReg := http.NewServeMux()
+	serve.AttachIntrospection(withReg, reg.Snapshot)
+	noReg := http.NewServeMux()
+	serve.AttachIntrospection(noReg, func() *metrics.Snapshot { return nil })
+
+	tsLive := httptest.NewServer(withReg)
+	defer tsLive.Close()
+	tsNil := httptest.NewServer(noReg)
+	defer tsNil.Close()
+
+	get := func(url string) (int, []byte) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get(tsLive.URL + "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v\n%s", err, body)
+	}
+	for _, key := range []string{"memstats", "paratreet"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("/debug/vars missing %q", key)
+		}
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(vars["paratreet"], &snap); err != nil {
+		t.Fatalf("paratreet var: %v", err)
+	}
+	if snap.Counters[metrics.CServeRequests] != 1 {
+		t.Errorf("paratreet var counters = %v, want %s = 1", snap.Counters, metrics.CServeRequests)
+	}
+
+	if code, _ := get(tsLive.URL + "/snapshot"); code != http.StatusOK {
+		t.Errorf("/snapshot with live registry: %d", code)
+	}
+	if code, _ := get(tsNil.URL + "/snapshot"); code != http.StatusServiceUnavailable {
+		t.Errorf("/snapshot without registry: %d, want 503", code)
+	}
+	if code, _ := get(tsLive.URL + "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+}

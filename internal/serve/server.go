@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"paratreet/internal/metrics"
+	"paratreet/internal/vec"
+)
+
+// ServerConfig parameterizes the HTTP layer.
+type ServerConfig struct {
+	// Batch configures the wave batcher behind the query endpoints.
+	Batch BatchConfig
+	// DefaultTimeout is the per-request deadline applied when a request
+	// carries no timeout_ms of its own. Default 2s.
+	DefaultTimeout time.Duration
+}
+
+// Server is the HTTP/JSON front of an Engine: POST /query/{knn,range,
+// probe} submit queries through the wave batcher; /healthz and /stats
+// report liveness and the serve.* instruments; the introspection
+// endpoints (pprof, vars, snapshot) ride the same instance-scoped mux.
+type Server struct {
+	eng            *Engine
+	bat            *Batcher[Query, Answer]
+	mux            *http.ServeMux
+	defaultTimeout time.Duration
+}
+
+// NewServer wires a server over eng. The batcher records into the
+// engine's registry unless cfg.Batch.Registry overrides it.
+func NewServer(eng *Engine, cfg ServerConfig) *Server {
+	if cfg.Batch.Registry == nil {
+		cfg.Batch.Registry = eng.Registry()
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 2 * time.Second
+	}
+	s := &Server{
+		eng:            eng,
+		bat:            NewBatcher[Query, Answer](cfg.Batch, eng.RunBatch),
+		mux:            http.NewServeMux(),
+		defaultTimeout: cfg.DefaultTimeout,
+	}
+	s.mux.HandleFunc("/query/knn", s.handleQuery(KNN))
+	s.mux.HandleFunc("/query/range", s.handleQuery(Range))
+	s.mux.HandleFunc("/query/probe", s.handleQuery(Probe))
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	AttachIntrospection(s.mux, eng.Snapshot)
+	return s
+}
+
+// Handler returns the server's mux, ready for http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Batcher exposes the underlying batcher (tests, custom drivers).
+func (s *Server) Batcher() *Batcher[Query, Answer] { return s.bat }
+
+// Drain gracefully stops query intake and completes every queued and
+// in-flight wave; call after http.Server.Shutdown on SIGTERM.
+func (s *Server) Drain() { s.bat.Drain() }
+
+// queryRequest is the JSON request body shared by the three query
+// endpoints; each endpoint reads the fields relevant to its kind.
+type queryRequest struct {
+	Pos    []float64 `json:"pos"`
+	K      int       `json:"k,omitempty"`
+	Radius float64   `json:"radius,omitempty"`
+	Vel    []float64 `json:"vel,omitempty"`
+	Dt     float64   `json:"dt,omitempty"`
+	// TimeoutMs overrides the server's default per-request deadline.
+	TimeoutMs float64 `json:"timeout_ms,omitempty"`
+}
+
+// hitJSON is one matched particle on the wire.
+type hitJSON struct {
+	ID   int64      `json:"id"`
+	Dist float64    `json:"dist"`
+	Pos  [3]float64 `json:"pos"`
+}
+
+// timingJSON is the per-request breakdown returned with every answer.
+type timingJSON struct {
+	QueueWaitUs float64 `json:"queue_wait_us"`
+	WaveUs      float64 `json:"wave_us"`
+	TotalUs     float64 `json:"total_us"`
+	BatchSize   int     `json:"batch_size"`
+}
+
+// queryResponse is the JSON response body of the query endpoints.
+type queryResponse struct {
+	Hits   []hitJSON  `json:"hits"`
+	Count  int        `json:"count"`
+	Timing timingJSON `json:"timing"`
+}
+
+// errorResponse is the JSON body of every non-2xx query response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleQuery(kind QueryKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		var req queryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		q, err := req.toQuery(kind)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		timeout := s.defaultTimeout
+		if req.TimeoutMs > 0 {
+			timeout = time.Duration(req.TimeoutMs * float64(time.Millisecond))
+		}
+		start := time.Now()
+		ans, tm, err := s.bat.Submit(q, start.Add(timeout))
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		resp := queryResponse{
+			Hits:  make([]hitJSON, len(ans.Hits)),
+			Count: len(ans.Hits),
+			Timing: timingJSON{
+				QueueWaitUs: micros(tm.QueueWait),
+				WaveUs:      micros(tm.Wave),
+				TotalUs:     micros(time.Since(start)),
+				BatchSize:   tm.BatchSize,
+			},
+		}
+		for i, h := range ans.Hits {
+			resp.Hits[i] = hitJSON{ID: h.ID, Dist: h.Dist, Pos: [3]float64{h.Pos.X, h.Pos.Y, h.Pos.Z}}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			// Response already partially written; nothing to recover.
+			return
+		}
+	}
+}
+
+// toQuery converts the wire request into a validated Query.
+func (r *queryRequest) toQuery(kind QueryKind) (Query, error) {
+	pos, err := toVec(r.Pos, "pos")
+	if err != nil {
+		return Query{}, err
+	}
+	q := Query{Kind: kind, Pos: pos, K: r.K, Radius: r.Radius, Dt: r.Dt}
+	if kind == Probe {
+		if len(r.Vel) > 0 {
+			if q.Vel, err = toVec(r.Vel, "vel"); err != nil {
+				return Query{}, err
+			}
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+func toVec(f []float64, field string) (vec.Vec3, error) {
+	if len(f) != 3 {
+		return vec.Vec3{}, fmt.Errorf("serve: %s must be [x,y,z], got %d components", field, len(f))
+	}
+	return vec.Vec3{X: f[0], Y: f[1], Z: f[2]}, nil
+}
+
+// statusOf maps batcher rejections to HTTP status codes.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		// Shed load fast but tell well-behaved clients when to return.
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}
+
+// handleHealth reports liveness plus the resident dataset's shape.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":    "ok",
+		"particles": s.eng.NumParticles(),
+		"procs":     s.eng.Procs(),
+	})
+}
+
+// handleStats reports the serve.* instruments: request/wave/rejection
+// counters and the batch-size, queue-wait, and wave-time histograms.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.Snapshot()
+	if snap == nil {
+		http.Error(w, "no metrics registry configured", http.StatusServiceUnavailable)
+		return
+	}
+	out := struct {
+		Counters   map[string]int64                     `json:"counters"`
+		Histograms map[string]metrics.HistogramSnapshot `json:"histograms"`
+	}{
+		Counters:   map[string]int64{},
+		Histograms: map[string]metrics.HistogramSnapshot{},
+	}
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "serve.") {
+			out.Counters[name] = v
+		}
+	}
+	for name, h := range snap.Histograms {
+		if strings.HasPrefix(name, "serve.") {
+			out.Histograms[name] = h
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"math"
+
+	"paratreet/internal/collision"
+	"paratreet/internal/traverse"
+	"paratreet/internal/tree"
+)
+
+// The ad-hoc query visitors below run over the Engine's resident
+// collision.Data tree: the per-node particle count serves kNN and range
+// pruning, and the per-node MaxRadius/MaxSpeed bounds serve the probe's
+// swept-sphere opening criterion. Each query is its own single-particle
+// bucket, so per-query parameters (radius, dt) live in the bucket State
+// and one traversal serves arbitrarily mixed parameter values.
+
+// rangeState is the per-bucket state of one ball-search query.
+type rangeState struct {
+	r2   float64
+	hits []Hit
+}
+
+// rangeVisitor answers fixed-radius ball searches: descend while the
+// node's box intersects the query ball, collect exact matches at leaves.
+type rangeVisitor struct{}
+
+// Open implements traverse.Visitor.
+func (rangeVisitor) Open(source *tree.Node[collision.Data], target *traverse.Bucket) bool {
+	if source.Data.N == 0 {
+		return false
+	}
+	return source.Box.DistSq(target.Particles[0].Pos) <= target.State.(*rangeState).r2
+}
+
+// Node implements traverse.Visitor: pruned nodes cannot contain matches.
+func (rangeVisitor) Node(source *tree.Node[collision.Data], target *traverse.Bucket) {}
+
+// Leaf implements traverse.Visitor: exact distance tests.
+//
+//paratreet:hotpath
+func (rangeVisitor) Leaf(source *tree.Node[collision.Data], target *traverse.Bucket) {
+	st := target.State.(*rangeState)
+	c := target.Particles[0].Pos
+	for j := range source.Particles {
+		s := &source.Particles[j]
+		if d2 := s.Pos.DistSq(c); d2 <= st.r2 {
+			st.hits = append(st.hits, Hit{ID: s.ID, Dist: math.Sqrt(d2), Pos: s.Pos})
+		}
+	}
+}
+
+// probeState is the per-bucket state of one collision-probe query: the
+// probe body's radius and speed for the opening bound, its time window,
+// and the collected contacts.
+type probeState struct {
+	radius float64
+	speed  float64
+	dt     float64
+	hits   []Hit
+}
+
+// probeVisitor answers collision probes with the collision application's
+// conservative swept-sphere test, one-sided: which resident bodies would
+// a probe body touch within dt?
+type probeVisitor struct{}
+
+// Open implements traverse.Visitor: descend while the source box,
+// inflated by the largest radii and sweep distances on both sides, can
+// reach the probe point.
+func (probeVisitor) Open(source *tree.Node[collision.Data], target *traverse.Bucket) bool {
+	d := &source.Data
+	if d.N == 0 {
+		return false
+	}
+	st := target.State.(*probeState)
+	reach := d.MaxRadius + st.radius + st.dt*(d.MaxSpeed+st.speed)
+	return source.Box.DistSq(target.Particles[0].Pos) <= reach*reach
+}
+
+// Node implements traverse.Visitor: pruned nodes cannot contain contacts.
+func (probeVisitor) Node(source *tree.Node[collision.Data], target *traverse.Bucket) {}
+
+// Leaf implements traverse.Visitor: exact swept-sphere pair tests against
+// the probe body.
+//
+//paratreet:hotpath
+func (probeVisitor) Leaf(source *tree.Node[collision.Data], target *traverse.Bucket) {
+	st := target.State.(*probeState)
+	p := &target.Particles[0]
+	for j := range source.Particles {
+		s := &source.Particles[j]
+		sep := s.Pos.Sub(p.Pos).Norm()
+		sweep := s.Vel.Sub(p.Vel).Norm() * st.dt
+		if sep <= st.radius+s.Radius+sweep {
+			st.hits = append(st.hits, Hit{ID: s.ID, Dist: sep, Pos: s.Pos})
+		}
+	}
+}

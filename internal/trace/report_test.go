@@ -168,3 +168,33 @@ func TestValidate(t *testing.T) {
 		t.Fatalf("fixture failed validation: %v", err)
 	}
 }
+
+// TestReportBatchSpans checks the serve batcher's EvBatch waves flow
+// through the report: counted in the summary by kind name, listed in
+// top spans with their batch-size-bearing name, and never re-homed onto
+// a worker track (they are service-level, like barriers).
+func TestReportBatchSpans(t *testing.T) {
+	tr := FromSnapshots([]*metrics.Snapshot{{
+		Label: "serve",
+		Spans: []metrics.Span{
+			{Name: "task", Kind: metrics.EvTask, Proc: 0, Worker: 0, StartNs: 0, DurNs: 4000},
+			{Name: "wave[8]", Kind: metrics.EvBatch, Proc: -1, Worker: -1, StartNs: 500, DurNs: 3000},
+		},
+	}})
+	tr.AttributeWorkers()
+	for _, e := range tr.Events {
+		if e.Kind == metrics.EvBatch && e.Worker != -1 {
+			t.Fatalf("batch span re-homed to worker %d, want -1", e.Worker)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, tr, ReportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"batch", "wave[8]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

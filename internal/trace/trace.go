@@ -107,7 +107,8 @@ func (t *Trace) AttributeWorkers() {
 		e := &t.Events[i]
 		if e.Worker != -1 || e.Kind == metrics.EvTask ||
 			e.Kind == metrics.EvMsgRecv || e.Kind == metrics.EvBarrier ||
-			e.Kind == metrics.EvDrop || e.Kind == metrics.EvRetry {
+			e.Kind == metrics.EvDrop || e.Kind == metrics.EvRetry ||
+			e.Kind == metrics.EvBatch {
 			continue
 		}
 		// Among candidate workers, pick the containing task with the

@@ -24,9 +24,9 @@ fi
 
 echo "==> paratreet-lint"
 # The loader expands ./... over the whole module — internal/..., cmd/...,
-# examples/, and the root package — so every package faces the eight
-# analyzers (see `paratreet-lint -list`), waiver hygiene included.
-go run ./cmd/paratreet-lint ./internal/... ./cmd/... ./examples/... .
+# examples/, scripts/, and the root package — so every package faces the
+# eight analyzers (see `paratreet-lint -list`), waiver hygiene included.
+go run ./cmd/paratreet-lint ./internal/... ./cmd/... ./examples/... ./scripts/... .
 
 echo "==> go test"
 go test ./...
@@ -76,6 +76,12 @@ for kind in drop retry; do
 		;;
 	esac
 done
+
+echo "==> serve smoke"
+# End-to-end daemon check: build paratreet-serve, start it on an
+# ephemeral port, answer kNN and range queries over HTTP, then verify a
+# clean SIGTERM drain (exit 0, drain banner).
+go run ./scripts
 
 echo "==> bench-gate"
 # Perf trajectory gate: re-measure the benchmark set and compare against

@@ -1,0 +1,142 @@
+// Command serve_smoke is the CI smoke stage for paratreet-serve: it
+// builds the daemon, starts it on an ephemeral port, issues kNN and
+// range queries over HTTP, and checks a clean SIGTERM drain (exit 0
+// with the drain banner). Run from the repository root:
+//
+//	go run ./scripts
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve smoke passed")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "paratreet-serve-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "paratreet-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/paratreet-serve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-n", "4000", "-procs", "2", "-wpp", "2",
+		"-batch", "8", "-batch-wait", "1ms")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+
+	// The daemon prints its resolved ephemeral address once listening.
+	var base string
+	var banner []string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		banner = append(banner, line)
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		return fmt.Errorf("no listening banner; daemon output: %q", banner)
+	}
+
+	post := func(path, body string, out any) error {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: %d %s", path, resp.StatusCode, buf.Bytes())
+		}
+		return json.Unmarshal(buf.Bytes(), out)
+	}
+	var knn struct {
+		Count  int `json:"count"`
+		Timing struct {
+			BatchSize int `json:"batch_size"`
+		} `json:"timing"`
+	}
+	if err := post("/query/knn", `{"pos":[0.5,0.5,0.5],"k":8}`, &knn); err != nil {
+		return err
+	}
+	if knn.Count != 8 || knn.Timing.BatchSize < 1 {
+		return fmt.Errorf("knn answered count=%d batch=%d, want 8 hits", knn.Count, knn.Timing.BatchSize)
+	}
+	var rng struct {
+		Count int `json:"count"`
+		Hits  []struct {
+			Dist float64 `json:"dist"`
+		} `json:"hits"`
+	}
+	if err := post("/query/range", `{"pos":[0.5,0.5,0.5],"radius":0.25}`, &rng); err != nil {
+		return err
+	}
+	if rng.Count != len(rng.Hits) {
+		return fmt.Errorf("range count %d != %d hits", rng.Count, len(rng.Hits))
+	}
+	for _, h := range rng.Hits {
+		if h.Dist > 0.25 {
+			return fmt.Errorf("range hit at dist %v outside radius", h.Dist)
+		}
+	}
+
+	// Clean drain: SIGTERM, exit 0, drain banner printed.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	rest := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		for sc.Scan() {
+			fmt.Fprintln(&b, sc.Text())
+		}
+		rest <- b.String()
+	}()
+	var tail string
+	select {
+	case tail = <-rest:
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("daemon did not drain within 30s")
+	}
+	if err := daemon.Wait(); err != nil {
+		return fmt.Errorf("daemon exit after SIGTERM: %w\noutput:\n%s", err, tail)
+	}
+	if !strings.Contains(tail, "drained") {
+		return fmt.Errorf("drain banner missing from shutdown output:\n%s", tail)
+	}
+	return nil
+}

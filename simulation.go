@@ -101,6 +101,32 @@ func (s *Simulation[D]) Close() {
 	}
 }
 
+// BuildOnly runs the build/refresh path of one iteration — universe
+// reduction, decomposition, parallel subtree builds, top share, leaf
+// share, and the particle census — without launching any traversal. On
+// return the machine is settled and every cache presents its view of the
+// freshly built global tree, ready either for a driver's traversal (Run
+// calls BuildOnly per iteration) or for ad-hoc query waves (NewWave /
+// QueryWave) against the resident tree.
+func (s *Simulation[D]) BuildOnly() error {
+	if err := s.world.BuildIteration(s.particles); err != nil {
+		return fmt.Errorf("paratreet: iteration %d build: %w", s.iter, err)
+	}
+	s.lastBuildTime = s.world.BuildTime
+	return s.world.CheckCensus(len(s.particles))
+}
+
+// SetParticles replaces the canonical particle state (taking ownership of
+// ps); the next BuildOnly or Run iteration decomposes the new set. It must
+// not be called while traversals or query waves are in flight.
+func (s *Simulation[D]) SetParticles(ps []Particle) error {
+	if len(ps) == 0 {
+		return fmt.Errorf("paratreet: no particles")
+	}
+	s.particles = ps
+	return nil
+}
+
 // Run executes n iterations: build (decompose, subtree build, top share,
 // leaf share), the driver's traversal launch, quiescence, load
 // measurement, the driver's post-traversal step, particle gather, and
@@ -108,11 +134,7 @@ func (s *Simulation[D]) Close() {
 func (s *Simulation[D]) Run(n int, driver Driver[D]) error {
 	for i := 0; i < n; i++ {
 		iterStart := time.Now()
-		if err := s.world.BuildIteration(s.particles); err != nil {
-			return fmt.Errorf("paratreet: iteration %d build: %w", s.iter, err)
-		}
-		s.lastBuildTime = s.world.BuildTime
-		if err := s.world.CheckCensus(len(s.particles)); err != nil {
+		if err := s.BuildOnly(); err != nil {
 			return err
 		}
 		s.loadSinks = s.loadSinks[:0]

@@ -1,0 +1,63 @@
+package paratreet
+
+import (
+	"sync"
+
+	"paratreet/internal/traverse"
+)
+
+// Wave is one batch of ad-hoc traversals over the resident tree — the
+// reentrant query path that complements BuildOnly's build/refresh path.
+// Unlike Run, which drives per-partition traversals and waits for global
+// quiescence, a Wave tracks only its own traversals via their completion
+// callbacks, so any number of waves may run concurrently over the same
+// built tree (the software cache's insertions are designed for concurrent
+// readers and fillers). Launch traversals from a single goroutine, then
+// Wait; the results land in the buckets' State.
+//
+// Waves read the tree built by the most recent BuildOnly/Run iteration.
+// Rebuilding (BuildOnly, Run, SetParticles) while waves are in flight is
+// a race — callers serialize builds against waves (see internal/serve's
+// Engine for the canonical reader-writer arrangement).
+type Wave[D any] struct {
+	s   *Simulation[D]
+	wg  sync.WaitGroup
+	seq int
+}
+
+// NewWave prepares an empty query wave over the simulation's resident
+// tree. The tree must have been built (BuildOnly or a Run iteration).
+func (s *Simulation[D]) NewWave() *Wave[D] {
+	return &Wave[D]{s: s}
+}
+
+// QueryWave runs launch to start traversals on a fresh wave and blocks
+// until every launched traversal has drained (including frames paused on
+// remote fetches). It is the single-wave convenience over NewWave + Wait.
+func (s *Simulation[D]) QueryWave(launch func(w *Wave[D])) {
+	w := s.NewWave()
+	launch(w)
+	w.Wait()
+}
+
+// WaveDown launches one top-down traversal of buckets against proc's view
+// of the resident tree, as part of wave w. The buckets are ad-hoc query
+// targets (typically one synthetic particle each) and need not correspond
+// to tree leaves; visitor state must already be attached. The traversal
+// style comes from the simulation's Config, so coalesced query buckets
+// share tree-node visits exactly like partition buckets do.
+func WaveDown[D any, V traverse.Visitor[D]](w *Wave[D], proc int, buckets []*traverse.Bucket, visitor V) {
+	s := w.s
+	c := s.world.Caches[proc]
+	p := s.machine.Proc(proc)
+	view := c.ViewFor(w.seq % p.NumWorkers())
+	w.seq++
+	w.wg.Add(1)
+	tr := traverse.NewTopDown(p, c, view, buckets, visitor, s.cfg.Style, w.wg.Done)
+	tr.Start()
+}
+
+// Wait blocks until every traversal launched on this wave has completed.
+func (w *Wave[D]) Wait() {
+	w.wg.Wait()
+}
