@@ -13,9 +13,12 @@ import (
 
 	"paratreet"
 	"paratreet/internal/benchfmt"
+	"paratreet/internal/experiments"
 	"paratreet/internal/gravity"
 	"paratreet/internal/knn"
+	"paratreet/internal/metrics"
 	"paratreet/internal/particle"
+	"paratreet/internal/serve"
 	"paratreet/internal/sfc"
 	"paratreet/internal/sph"
 	"paratreet/internal/tree"
@@ -43,6 +46,8 @@ type benchResult struct {
 	r          testing.BenchmarkResult
 	buildNs    float64
 	traverseNs float64
+	p50Ns      float64
+	p99Ns      float64
 }
 
 func (b benchResult) toResult(name string) benchfmt.Result {
@@ -54,6 +59,8 @@ func (b benchResult) toResult(name string) benchfmt.Result {
 		BytesPerOp:      b.r.AllocedBytesPerOp(),
 		BuildNsPerOp:    b.buildNs,
 		TraverseNsPerOp: b.traverseNs,
+		P50Ns:           b.p50Ns,
+		P99Ns:           b.p99Ns,
 	}
 }
 
@@ -82,6 +89,7 @@ func runBenchSuite(w io.Writer, seed int64, quick bool) error {
 		{"radixsort", func() (benchResult, error) { return benchRadixSort(nBuild, seed), nil }},
 		{"gravity/iter", func() (benchResult, error) { return benchGravityIter(nSim, seed) }},
 		{"knn/iter", func() (benchResult, error) { return benchKNNIter(nSim, seed) }},
+		{"serve/query", func() (benchResult, error) { return benchServeQuery(nSim, seed) }},
 	}
 
 	workload := "bench-gate"
@@ -131,6 +139,9 @@ func runBenchSuite(w io.Writer, seed int64, quick bool) error {
 		fmt.Fprintf(w, "  %-24s %12.0f ns/op %8d allocs/op", res.Name, res.NsPerOp, res.AllocsPerOp)
 		if res.BuildNsPerOp > 0 || res.TraverseNsPerOp > 0 {
 			fmt.Fprintf(w, "   build %.0f ns/op, traverse %.0f ns/op", res.BuildNsPerOp, res.TraverseNsPerOp)
+		}
+		if res.P50Ns > 0 || res.P99Ns > 0 {
+			fmt.Fprintf(w, "   request p50 %.0f ns, p99 %.0f ns", res.P50Ns, res.P99Ns)
 		}
 		fmt.Fprintln(w)
 	}
@@ -279,6 +290,50 @@ func benchKNNIter(n int, seed int64) (benchResult, error) {
 			Latency: 20 * time.Microsecond, PerByte: 2 * time.Nanosecond,
 		}, knn.Accumulator{}, knn.Codec{}, ps)
 	}, driver)
+}
+
+// benchServeQuery measures the serving path: a reproducible mixed query
+// set answered through the wave batcher against a resident tree, with
+// concurrent submitters the way the HTTP server drives the engine. Each
+// op is one full query-set replay; the per-request p50/p99 come from the
+// serve.request_ns streaming sketch, giving the perf trajectory a tail
+// latency signal on top of mean throughput.
+//
+//paratreet:coldpath
+func benchServeQuery(n int, seed int64) (benchResult, error) {
+	const nq, conc = 256, 8
+	box := vec.UnitBox()
+	reg := paratreet.NewMetricsRegistry(paratreet.MetricsOptions{})
+	cfg := paratreet.Config{
+		Procs: 2, WorkersPerProc: 2, BuildWorkers: 2,
+		Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC, BucketSize: 16,
+		CachePolicy: paratreet.CacheWaitFree, FetchDepth: 3,
+		Metrics: reg,
+	}
+	eng, err := serve.NewEngine(cfg, particle.NewClustered(n, seed, box, 8))
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer eng.Close()
+	qs := experiments.NewQuerySet(nq, seed+1, box, 16, 0.05)
+	bcfg := serve.BatchConfig{MaxBatch: 32, MaxWait: 200 * time.Microsecond, Registry: reg}
+	var out benchResult
+	var benchErr error
+	out.r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunBatched(eng, bcfg, qs, conc); err != nil {
+				benchErr = err
+				b.SkipNow()
+			}
+		}
+	})
+	if snap := reg.Snapshot(); snap != nil {
+		if sk, ok := snap.Sketches[metrics.HServeRequest]; ok {
+			out.p50Ns, out.p99Ns = float64(sk.P50), float64(sk.P99)
+		}
+	}
+	return out, benchErr
 }
 
 // benchSim benchmarks whole simulation iterations: per testing round it

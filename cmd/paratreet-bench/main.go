@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -133,6 +134,7 @@ func main() {
 	if opts.Metrics != nil {
 		snaps := opts.Metrics.Snapshots()
 		warnDroppedSpans(os.Stderr, snaps, *traceCap)
+		writeHistogramTails(os.Stderr, snaps)
 		if *traceOut != "" {
 			if err := writeChromeTrace(*traceOut, snaps); err != nil {
 				fatal(err)
@@ -273,6 +275,33 @@ func stripSpans(snaps []*paratreet.MetricsSnapshot) []*paratreet.MetricsSnapshot
 		out[i] = &cp
 	}
 	return out
+}
+
+// writeHistogramTails prints per-run histogram tail quantiles to stderr
+// when -metrics is on: bucket-interpolated p50/p90/p99 of every recorded
+// latency histogram (HistogramSnapshot.Quantile), a human-readable tail
+// summary next to the machine-readable JSON the run emits.
+func writeHistogramTails(w io.Writer, snaps []*paratreet.MetricsSnapshot) {
+	for run, s := range snaps {
+		if s == nil || len(s.Histograms) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(s.Histograms))
+		for name := range s.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "histogram tails (run %d):\n", run)
+		fmt.Fprintf(w, "  %-24s %10s %12s %12s %12s\n", "histogram", "count", "p50", "p90", "p99")
+		for _, name := range names {
+			h := s.Histograms[name]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-24s %10d %12.0f %12.0f %12.0f\n",
+				name, h.Count, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+		}
+	}
 }
 
 // warnDroppedSpans reports trace-ring overflow on stderr: a wrapped ring

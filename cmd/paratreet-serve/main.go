@@ -12,10 +12,17 @@
 //	POST /query/knn    {"pos":[x,y,z],"k":8}
 //	POST /query/range  {"pos":[x,y,z],"radius":0.05}
 //	POST /query/probe  {"pos":[x,y,z],"radius":0.01,"vel":[x,y,z],"dt":0.001}
-//	GET  /healthz /stats /snapshot /debug/vars /debug/pprof/
+//	GET  /healthz /readyz /stats /metrics /snapshot /debug/vars /debug/pprof/
 //
-// SIGINT/SIGTERM drains gracefully: intake stops (503), queued and
-// in-flight waves complete and deliver, then the process exits 0.
+// /healthz is liveness (200 while the process runs); /readyz is
+// readiness and answers 503 while draining or out of SLO; /metrics is
+// Prometheus text exposition. The -slo-* flags arm the SLO watchdog; the
+// -health-interval flag paces the runtime-health collector.
+//
+// SIGINT/SIGTERM drains gracefully: readiness flips to 503 first, a
+// -drain-grace window lets load balancers observe it, then intake stops,
+// queued and in-flight waves complete and deliver, and the process exits
+// 0.
 package main
 
 import (
@@ -31,79 +38,116 @@ import (
 	"time"
 
 	"paratreet"
+	"paratreet/internal/metrics"
 	"paratreet/internal/particle"
 	"paratreet/internal/serve"
 	"paratreet/internal/trace"
 	"paratreet/internal/vec"
 )
 
+// options collects every daemon flag; run takes it whole so the flag
+// set and the runtime wiring stay in one-to-one correspondence.
+type options struct {
+	addr       string
+	n          int
+	dist       string
+	seed       int64
+	procs      int
+	wpp        int
+	treeKind   string
+	decompKind string
+	policy     string
+	bucket     int
+
+	batch     int
+	batchWait time.Duration
+	queueCap  int
+	waves     int
+	timeout   time.Duration
+	faults    string
+	rtTimers  bool
+
+	traceCap   int
+	traceOut   string
+	metricsOut string
+
+	healthInterval time.Duration
+	sloWindow      time.Duration
+	sloInterval    time.Duration
+	sloP99         time.Duration
+	sloMaxErr      float64
+	sloMinSamples  int
+	drainGrace     time.Duration
+}
+
 func main() {
-	var (
-		addr       = flag.String("addr", ":8080", "HTTP listen address")
-		n          = flag.Int("n", 40000, "resident particle count")
-		dist       = flag.String("dist", "clustered", "particle distribution: uniform, clustered, cosmo")
-		seed       = flag.Int64("seed", 42, "dataset seed")
-		procs      = flag.Int("procs", 4, "simulated processes")
-		wpp        = flag.Int("wpp", 2, "workers per simulated process")
-		treeKind   = flag.String("tree", "oct", "tree type: oct, kd, longest")
-		decompKind = flag.String("decomp", "sfc", "decomposition: sfc, hilbert, oct, orb")
-		policy     = flag.String("policy", "waitfree", "cache policy: waitfree, xwrite, single, perthread")
-		bucket     = flag.Int("bucket", 16, "max particles per leaf")
-		batch      = flag.Int("batch", 32, "max queries coalesced into one wave")
-		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "max time a query waits for co-batching")
-		queueCap   = flag.Int("queue", 0, "admission queue bound (0 = 4x batch)")
-		waves      = flag.Int("waves", 2, "max concurrently running waves")
-		timeout    = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
-		faults     = flag.String("faults", "", "inject delivery faults, e.g. drop=0.02,dup=0.02,jitter=200us,seed=7")
-		rtTimers   = flag.Bool("rt-timers", true, "run batch flush timers on the simulated machine's delayed self-messages instead of host timers")
-		traceCap   = flag.Int("trace", 0, "trace-span ring capacity (0 = tracing off)")
-		traceOut   = flag.String("trace-out", "", "write spans as Chrome Trace Event JSON here on shutdown (implies -trace 65536 when -trace is unset)")
-		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot as JSON here on shutdown")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	flag.IntVar(&o.n, "n", 40000, "resident particle count")
+	flag.StringVar(&o.dist, "dist", "clustered", "particle distribution: uniform, clustered, cosmo")
+	flag.Int64Var(&o.seed, "seed", 42, "dataset seed")
+	flag.IntVar(&o.procs, "procs", 4, "simulated processes")
+	flag.IntVar(&o.wpp, "wpp", 2, "workers per simulated process")
+	flag.StringVar(&o.treeKind, "tree", "oct", "tree type: oct, kd, longest")
+	flag.StringVar(&o.decompKind, "decomp", "sfc", "decomposition: sfc, hilbert, oct, orb")
+	flag.StringVar(&o.policy, "policy", "waitfree", "cache policy: waitfree, xwrite, single, perthread")
+	flag.IntVar(&o.bucket, "bucket", 16, "max particles per leaf")
+	flag.IntVar(&o.batch, "batch", 32, "max queries coalesced into one wave")
+	flag.DurationVar(&o.batchWait, "batch-wait", 2*time.Millisecond, "max time a query waits for co-batching")
+	flag.IntVar(&o.queueCap, "queue", 0, "admission queue bound (0 = 4x batch)")
+	flag.IntVar(&o.waves, "waves", 2, "max concurrently running waves")
+	flag.DurationVar(&o.timeout, "timeout", 2*time.Second, "default per-request deadline")
+	flag.StringVar(&o.faults, "faults", "", "inject delivery faults, e.g. drop=0.02,dup=0.02,jitter=200us,seed=7")
+	flag.BoolVar(&o.rtTimers, "rt-timers", true, "run batch flush timers on the simulated machine's delayed self-messages instead of host timers")
+	flag.IntVar(&o.traceCap, "trace", 0, "trace-span ring capacity (0 = tracing off)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write spans as Chrome Trace Event JSON here on shutdown (implies -trace 65536 when -trace is unset)")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the final metrics snapshot as JSON here on shutdown")
+	flag.DurationVar(&o.healthInterval, "health-interval", time.Second, "runtime-health sampling cadence (0 disables the collector)")
+	flag.DurationVar(&o.sloWindow, "slo-window", 10*time.Second, "SLO rolling evaluation window")
+	flag.DurationVar(&o.sloInterval, "slo-interval", time.Second, "SLO evaluation cadence and window slot width")
+	flag.DurationVar(&o.sloP99, "slo-p99", 0, "SLO p99 request-latency objective (0 disables)")
+	flag.Float64Var(&o.sloMaxErr, "slo-maxerr", 0, "SLO max error-rate objective, e.g. 0.05 (0 disables)")
+	flag.IntVar(&o.sloMinSamples, "slo-min-samples", 20, "min requests in window before the SLO evaluates")
+	flag.DurationVar(&o.drainGrace, "drain-grace", 0, "after SIGTERM, keep serving with /readyz=503 this long before stopping intake")
 	flag.Parse()
-	if err := run(*addr, *n, *dist, *seed, *procs, *wpp, *treeKind, *decompKind, *policy,
-		*bucket, *batch, *batchWait, *queueCap, *waves, *timeout, *faults, *rtTimers,
-		*traceCap, *traceOut, *metricsOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "paratreet-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n int, dist string, seed int64, procs, wpp int,
-	treeKind, decompKind, policy string, bucket, batch int, batchWait time.Duration,
-	queueCap, waves int, timeout time.Duration, faults string, rtTimers bool,
-	traceCap int, traceOut, metricsOut string) error {
-	if traceOut != "" && traceCap == 0 {
-		traceCap = 65536
+func run(o options) error {
+	if o.traceOut != "" && o.traceCap == 0 {
+		o.traceCap = 65536
 	}
 	cfg := paratreet.Config{
-		Procs:          procs,
-		WorkersPerProc: wpp,
-		BucketSize:     bucket,
-		Metrics:        paratreet.NewMetricsRegistry(paratreet.MetricsOptions{TraceCapacity: traceCap}),
+		Procs:          o.procs,
+		WorkersPerProc: o.wpp,
+		BucketSize:     o.bucket,
+		Metrics:        paratreet.NewMetricsRegistry(paratreet.MetricsOptions{TraceCapacity: o.traceCap}),
 	}
 	var err error
-	if cfg.Tree, err = parseTree(treeKind); err != nil {
+	if cfg.Tree, err = parseTree(o.treeKind); err != nil {
 		return err
 	}
-	if cfg.Decomp, err = parseDecomp(decompKind); err != nil {
+	if cfg.Decomp, err = parseDecomp(o.decompKind); err != nil {
 		return err
 	}
-	if cfg.CachePolicy, err = parsePolicy(policy); err != nil {
+	if cfg.CachePolicy, err = parsePolicy(o.policy); err != nil {
 		return err
 	}
-	if faults != "" {
-		if cfg.Faults, err = paratreet.ParseFaultSpec(faults); err != nil {
+	if o.faults != "" {
+		if cfg.Faults, err = paratreet.ParseFaultSpec(o.faults); err != nil {
 			return err
 		}
 	}
 
-	ps, err := makeParticles(dist, n, seed)
+	ps, err := makeParticles(o.dist, o.n, o.seed)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("paratreet-serve: building resident %s tree over %d %s particles (%d procs x %d workers)\n",
-		treeKind, n, dist, procs, wpp)
+		o.treeKind, o.n, o.dist, o.procs, o.wpp)
 	eng, err := serve.NewEngine(cfg, ps)
 	if err != nil {
 		return err
@@ -112,19 +156,42 @@ func run(addr string, n int, dist string, seed int64, procs, wpp int,
 
 	scfg := serve.ServerConfig{
 		Batch: serve.BatchConfig{
-			MaxBatch: batch,
-			MaxWait:  batchWait,
-			MaxQueue: queueCap,
-			MaxWaves: waves,
+			MaxBatch: o.batch,
+			MaxWait:  o.batchWait,
+			MaxQueue: o.queueCap,
+			MaxWaves: o.waves,
 		},
-		DefaultTimeout: timeout,
+		DefaultTimeout: o.timeout,
+		SLO: serve.SLOConfig{
+			Window:       o.sloWindow,
+			Interval:     o.sloInterval,
+			MaxErrorRate: o.sloMaxErr,
+			MaxP99:       o.sloP99,
+			MinSamples:   o.sloMinSamples,
+		},
 	}
-	if rtTimers {
+	if o.rtTimers {
 		scfg.Batch.AfterFunc = eng.TimerAfterFunc()
 	}
 	srv := serve.NewServer(eng, scfg)
 
-	ln, err := net.Listen("tcp", addr)
+	if o.healthInterval > 0 {
+		bat := srv.Batcher()
+		reg := cfg.Metrics
+		health := metrics.StartHealth(reg, metrics.HealthConfig{
+			Interval: o.healthInterval,
+			// Fold serve saturation into the same tick: queue depth and
+			// in-flight waves move with every pump, but the ticker
+			// guarantees a fresh reading even on an idle batcher.
+			Extra: func() {
+				reg.Gauge(metrics.GServeQueueDepth).Set(int64(bat.QueueDepth()))
+				reg.Gauge(metrics.GServeInflightWaves).Set(int64(bat.InFlight()))
+			},
+		})
+		defer health.Stop()
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
@@ -141,9 +208,15 @@ func run(addr string, n int, dist string, seed int64, procs, wpp int,
 		return err
 	}
 
-	// Graceful drain: stop accepting connections, finish in-flight HTTP
+	// Graceful drain, in readiness-first order: flip /readyz to 503 while
+	// still serving (load balancers steer away during the grace window),
+	// then stop accepting connections and finish in-flight HTTP
 	// exchanges, then flush every queued query through its wave.
 	fmt.Println("paratreet-serve: signal received, draining")
+	srv.BeginDrain()
+	if o.drainGrace > 0 {
+		time.Sleep(o.drainGrace)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -154,19 +227,19 @@ func run(addr string, n int, dist string, seed int64, procs, wpp int,
 		fmt.Fprintf(os.Stderr, "paratreet-serve: serve: %v\n", err)
 	}
 
-	if traceOut != "" || metricsOut != "" {
+	if o.traceOut != "" || o.metricsOut != "" {
 		snap := eng.Snapshot()
-		if traceOut != "" {
-			if err := writeTrace(traceOut, snap); err != nil {
+		if o.traceOut != "" {
+			if err := writeTrace(o.traceOut, snap); err != nil {
 				return err
 			}
-			fmt.Printf("paratreet-serve: wrote trace to %s\n", traceOut)
+			fmt.Printf("paratreet-serve: wrote trace to %s\n", o.traceOut)
 		}
-		if metricsOut != "" {
-			if err := writeMetrics(metricsOut, snap); err != nil {
+		if o.metricsOut != "" {
+			if err := writeMetrics(o.metricsOut, snap); err != nil {
 				return err
 			}
-			fmt.Printf("paratreet-serve: wrote metrics to %s\n", metricsOut)
+			fmt.Printf("paratreet-serve: wrote metrics to %s\n", o.metricsOut)
 		}
 	}
 	fmt.Println("paratreet-serve: drained, bye")

@@ -42,6 +42,11 @@ type Result struct {
 	// TraverseNsPerOp is the per-op time inside traversal phases (local
 	// traversal, resume); zero when not applicable.
 	TraverseNsPerOp float64 `json:"traverse_ns_per_op,omitempty"`
+	// P50Ns and P99Ns are per-request latency quantiles from the metrics
+	// layer's streaming sketch; zero for benchmarks without a
+	// request-latency distribution (only the serving path has one).
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
 }
 
 // Snapshot is one recorded perf trajectory point (a BENCH_*.json file).

@@ -24,6 +24,8 @@ func fixtureSnapshot() *Snapshot {
 			{Name: "gravity/iter", N: 3, NsPerOp: 4.5e7, AllocsPerOp: 1200, BytesPerOp: 2097152,
 				BuildNsPerOp: 6.0e6, TraverseNsPerOp: 3.2e7},
 			{Name: "knn/leaf-kernel", N: 100000, NsPerOp: 850.5, AllocsPerOp: 0, BytesPerOp: 0},
+			{Name: "serve/query", N: 5, NsPerOp: 2.1e7, AllocsPerOp: 900, BytesPerOp: 1048576,
+				P50Ns: 1.4e5, P99Ns: 9.8e5},
 		},
 	}
 }

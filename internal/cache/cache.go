@@ -202,6 +202,7 @@ type cacheMetrics struct {
 	staleFills *metrics.Counter
 	retries    *metrics.Counter
 	fetchRTT   *metrics.Histogram
+	fetchRTTQ  *metrics.Sketch
 	insertNs   *metrics.Histogram
 	tracer     *metrics.Tracer
 	// reqAt maps in-flight (key, view) to the request issue time and trace
@@ -295,6 +296,7 @@ func New[D any](proc *rt.Proc, policy Policy, t tree.Type, codec tree.DataCodec[
 		c.mx.staleFills = reg.Counter(metrics.CCacheStaleFills)
 		c.mx.retries = reg.Counter(metrics.CCacheRetries)
 		c.mx.fetchRTT = reg.Histogram(metrics.HCacheFetchRTT)
+		c.mx.fetchRTTQ = reg.Sketch(metrics.HCacheFetchRTT)
 		c.mx.insertNs = reg.Histogram(metrics.HCacheInsert)
 		c.mx.tracer = reg.Tracer()
 	}
@@ -519,7 +521,9 @@ func (c *Cache[D]) HandleFill(msg FillMsg) {
 			c.mx.insertNs.Observe(int64(dur))
 			var flow uint64
 			if info, ok := c.mx.takeRequest(reqID{msg.Key, msg.View}); ok {
-				c.mx.fetchRTT.Observe(int64(time.Since(info.at)))
+				rtt := int64(time.Since(info.at))
+				c.mx.fetchRTT.Observe(rtt)
+				c.mx.fetchRTTQ.Observe(rtt)
 				flow = info.flow
 			}
 			c.mx.tracer.Emit(metrics.EvFill, "fill", c.proc.Rank(), -1, flow, start, dur)

@@ -87,6 +87,39 @@ const (
 	HServeQueueWait = "serve.queue_wait_ns"
 	// HServeWave is the wave execution time histogram (ns).
 	HServeWave = "serve.wave_ns"
+	// HServeRequest is the end-to-end request latency (queue wait + wave)
+	// histogram and sketch name (ns).
+	HServeRequest = "serve.request_ns"
+
+	// CServeSLOBreaches counts healthy->breached transitions of the SLO
+	// watchdog (error-rate or latency-threshold violations).
+	CServeSLOBreaches = "serve.slo_breaches"
+
+	// GServeQueueDepth gauges the batcher's pending-queue depth.
+	GServeQueueDepth = "serve.queue_depth"
+	// GServeQueueCap gauges the batcher's admission-queue bound.
+	GServeQueueCap = "serve.queue_cap"
+	// GServeInflightWaves gauges concurrently running waves.
+	GServeInflightWaves = "serve.inflight_waves"
+	// GServeMaxWaves gauges the wave-concurrency bound.
+	GServeMaxWaves = "serve.max_waves"
+	// GServeReady gauges readiness: 1 serving, 0 draining or out of SLO.
+	GServeReady = "serve.ready"
+
+	// GGoHeapBytes gauges live heap bytes (runtime/metrics).
+	GGoHeapBytes = "go.heap_bytes"
+	// GGoMemTotalBytes gauges total Go runtime memory from the OS.
+	GGoMemTotalBytes = "go.mem_total_bytes"
+	// GGoGoroutines gauges the live goroutine count.
+	GGoGoroutines = "go.goroutines"
+	// GGoGCCycles gauges completed GC cycles.
+	GGoGCCycles = "go.gc_cycles"
+	// GGoGCPauseP99 gauges the p99 GC stop-the-world pause (ns) over the
+	// collector's sampling interval.
+	GGoGCPauseP99 = "go.gc_pause_p99_ns"
+	// GGoSchedLatencyP99 gauges the p99 goroutine scheduling latency (ns)
+	// over the collector's sampling interval.
+	GGoSchedLatencyP99 = "go.sched_latency_p99_ns"
 )
 
 // cacheLine is the assumed cache line size for shard padding.
@@ -154,6 +187,42 @@ func (c *Counter) reset() {
 		c.shards[i].v.Store(0)
 	}
 }
+
+// Gauge is a last-write-wins instantaneous value (queue depth, heap
+// bytes, readiness). Unlike counters it is not sharded: gauges are
+// written by samplers and state machines, not hot loops. A nil *Gauge is
+// disabled.
+//
+//paratreet:nilsafe
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the gauge's current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) reset() { g.v.Store(0) }
 
 // histBuckets is the number of power-of-two histogram buckets: bucket i
 // holds values v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i, with
@@ -244,6 +313,54 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the power-of-two bucket holding the target rank, clamped into
+// [Min, Max]. The buckets are coarse (each spans a factor of two), so the
+// estimate can be off by up to ~1/3 of the value; it is the honest tail
+// readout available from a plain histogram snapshot — the streaming
+// sketches carry the tight (<=1/64 relative error) quantiles. Returns 0
+// when the snapshot is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for _, b := range s.Buckets {
+		// Bucket le = 2^i - 1 covers [2^(i-1), 2^i - 1]; bucket le = 0
+		// holds v <= 0.
+		lo := 0.0
+		if b.Le > 0 {
+			lo = float64((b.Le + 1) / 2)
+		}
+		hi := float64(b.Le)
+		inBucket := float64(b.Count)
+		if rank <= float64(cum)+inBucket {
+			frac := 0.0
+			if inBucket > 0 {
+				frac = (rank - float64(cum)) / inBucket
+			}
+			v := lo + frac*(hi-lo)
+			// The exact extrema tighten the first and last buckets.
+			if v < float64(s.Min) {
+				v = float64(s.Min)
+			}
+			if v > float64(s.Max) {
+				v = float64(s.Max)
+			}
+			return v
+		}
+		cum += b.Count
+	}
+	return float64(s.Max)
+}
+
 // Snapshot copies the histogram's state, omitting empty buckets.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
@@ -287,6 +404,8 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter   // guarded by mu
 	hists    map[string]*Histogram // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	sketches map[string]*Sketch    // guarded by mu
 }
 
 // NewRegistry constructs an enabled registry.
@@ -298,6 +417,8 @@ func NewRegistry(opts Options) *Registry {
 		opts:     opts,
 		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]*Gauge),
+		sketches: make(map[string]*Sketch),
 	}
 	if opts.TraceCapacity > 0 {
 		r.tracer = newTracer(opts.TraceCapacity)
@@ -336,6 +457,39 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Sketch returns the named streaming quantile sketch, creating it on
+// first use. By convention a sketch shares its name with the histogram
+// observing the same series (e.g. "serve.wave_ns"): the histogram keeps
+// the cheap distribution shape, the sketch the tight tail quantiles.
+func (r *Registry) Sketch(name string) *Sketch {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sketches[name]
+	if !ok {
+		s = newSketch()
+		r.sketches[name] = s
+	}
+	return s
+}
+
 // Tracer returns the registry's event tracer (nil when tracing is off).
 func (r *Registry) Tracer() *Tracer {
 	if r == nil {
@@ -359,6 +513,12 @@ func (r *Registry) Reset() {
 	}
 	for _, h := range r.hists {
 		h.reset()
+	}
+	for _, g := range r.gauges {
+		g.reset()
+	}
+	for _, s := range r.sketches {
+		s.Reset()
 	}
 	r.mu.Unlock()
 	r.tracer.reset()
@@ -385,6 +545,18 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.sketches) > 0 {
+		s.Sketches = make(map[string]SketchSnapshot, len(r.sketches))
+		for name, sk := range r.sketches {
+			s.Sketches[name] = sk.Snapshot()
+		}
 	}
 	r.mu.Unlock()
 	if r.tracer != nil {

@@ -1,0 +1,172 @@
+// Package promexpo renders a metrics.Snapshot in the Prometheus text
+// exposition format (version 0.0.4) with no dependency beyond the
+// standard library. Every instrument class maps to its natural
+// Prometheus type:
+//
+//	counters   -> counter families, "_total"-suffixed per convention
+//	gauges     -> gauge families
+//	histograms -> histogram families: cumulative "_bucket" series with
+//	              "le" labels at the power-of-two boundaries, plus
+//	              "_sum" and "_count"
+//	sketches   -> summary families: "quantile"-labeled p50/p90/p99/p999
+//	              series plus "_sum" and "_count"
+//
+// Instrument names are sanitized into the Prometheus grammar (dots and
+// other invalid runes become underscores: "serve.queue_wait_ns" scrapes
+// as "serve_queue_wait_ns"). When a sketch shares its name with a
+// histogram — the repo convention for latency series — the summary
+// family takes a "_summary" suffix so the two families never collide.
+// Output is deterministically ordered (sorted by family name within each
+// class), so the encoding is byte-stable for a given snapshot and
+// golden-testable.
+package promexpo
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"paratreet/internal/metrics"
+)
+
+// ContentType is the exposition media type scrapers expect.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// SanitizeName maps an instrument name into the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func SanitizeName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// Write renders the snapshot's scalar instruments as text exposition.
+// Spans, phases, worker utilization, and the comm matrix stay JSON-only
+// (/snapshot): they are per-run profiles, not scrapeable series.
+func Write(w io.Writer, s *metrics.Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("promexpo: nil snapshot")
+	}
+	if err := writeCounters(w, s.Counters); err != nil {
+		return err
+	}
+	if err := writeGauges(w, s.Gauges); err != nil {
+		return err
+	}
+	if err := writeHistograms(w, s.Histograms); err != nil {
+		return err
+	}
+	return writeSketches(w, s)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeCounters(w io.Writer, counters map[string]int64) error {
+	for _, name := range sortedKeys(counters) {
+		fam := SanitizeName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s paratreet counter %q\n# TYPE %s counter\n%s %d\n",
+			fam, name, fam, fam, counters[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeGauges(w io.Writer, gauges map[string]int64) error {
+	for _, name := range sortedKeys(gauges) {
+		fam := SanitizeName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s paratreet gauge %q\n# TYPE %s gauge\n%s %d\n",
+			fam, name, fam, fam, gauges[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistograms(w io.Writer, hists map[string]metrics.HistogramSnapshot) error {
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		fam := SanitizeName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s paratreet histogram %q (power-of-two buckets)\n# TYPE %s histogram\n",
+			fam, name, fam); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", fam, b.Le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			fam, h.Count, fam, h.Sum, fam, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSketches(w io.Writer, s *metrics.Snapshot) error {
+	for _, name := range sortedKeys(s.Sketches) {
+		sk := s.Sketches[name]
+		fam := SanitizeName(name)
+		if _, collides := s.Histograms[name]; collides {
+			fam += "_summary"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s paratreet quantile sketch %q\n# TYPE %s summary\n",
+			fam, name, fam); err != nil {
+			return err
+		}
+		for _, qv := range []struct {
+			q string
+			v int64
+		}{
+			{"0.5", sk.P50}, {"0.9", sk.P90}, {"0.99", sk.P99}, {"0.999", sk.P999},
+		} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %d\n", fam, qv.q, qv.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", fam, sk.Sum, fam, sk.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the live snapshot as a scrapeable GET /metrics
+// endpoint. snapshot may return nil (no registry live), which answers
+// 503 so scrapers record the target down rather than an empty series
+// set.
+func Handler(snapshot func() *metrics.Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := snapshot()
+		if snap == nil {
+			http.Error(w, "no metrics registry live", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		_ = Write(w, snap)
+	})
+}

@@ -1,0 +1,257 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// The quantile sketch is an HdrHistogram-style log-linear layout: values
+// below 2*sketchSub are recorded exactly (one bucket per integer), and
+// every higher power-of-two range is split into sketchSub linear
+// sub-buckets. Reconstructing a bucket's midpoint therefore carries a
+// relative error of at most 1/(2*sketchSub) — with sketchSub = 64 that is
+// under 0.8%, and the documented bound tests assert is 1/sketchSub
+// (1.5625%), the width of one sub-bucket. The layout covers the full
+// int64 range (latencies in nanoseconds up to ~292 years), is fixed-size,
+// and every operation is a handful of atomic adds, so sketches are cheap
+// enough to sit on serve request paths and mergeable by bucketwise
+// addition — the property the SLO watchdog's rolling window relies on.
+const (
+	// sketchSubBits sets the sub-bucket resolution per power of two.
+	sketchSubBits = 6
+	// sketchSub is the number of linear sub-buckets per power of two.
+	sketchSub = 1 << sketchSubBits
+	// sketchExact is the range [0, sketchExact) recorded exactly.
+	sketchExact = 2 * sketchSub
+	// sketchBuckets is the total bucket count: the exact range plus
+	// sketchSub sub-buckets for each of the (64 - sketchSubBits - 1)
+	// remaining value magnitudes.
+	sketchBuckets = sketchExact + (64-sketchSubBits-1)*sketchSub
+)
+
+// sketchIndex maps a non-negative value to its bucket.
+func sketchIndex(v int64) int {
+	if v < sketchExact {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	// Keep sketchSubBits+1 mantissa bits: shift is how many low bits are
+	// discarded, sub the retained mantissa in [sketchSub, 2*sketchSub).
+	shift := bits.Len64(uint64(v)) - (sketchSubBits + 1)
+	sub := int(v >> uint(shift))
+	return sketchExact + (shift-1)*sketchSub + (sub - sketchSub)
+}
+
+// sketchMid returns the representative (midpoint) value of a bucket.
+func sketchMid(idx int) int64 {
+	if idx < sketchExact {
+		return int64(idx)
+	}
+	shift := uint((idx-sketchExact)/sketchSub + 1)
+	sub := int64(sketchSub + (idx-sketchExact)%sketchSub)
+	lo := sub << shift
+	return lo + (int64(1)<<shift)/2
+}
+
+// Sketch is a lock-free, mergeable streaming quantile estimator over
+// int64 values (typically nanoseconds): a log-linear HDR-style bucket
+// array whose quantile reconstruction error is bounded by one sub-bucket
+// width (relative error <= 1/64, exact below 128). A nil *Sketch is
+// disabled. Obtain sketches from Registry.Sketch; producers observe into
+// them exactly like histograms, and the serve layer's rolling SLO window
+// merges per-slot sketches with Merge.
+//
+//paratreet:nilsafe
+type Sketch struct {
+	counts [sketchBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+func newSketch() *Sketch {
+	s := &Sketch{}
+	s.min.Store(int64(1)<<62 - 1)
+	s.max.Store(-(int64(1)<<62 - 1))
+	return s
+}
+
+// NewSketch constructs a standalone sketch (registry-less users: the SLO
+// watchdog's window slots, report tooling).
+func NewSketch() *Sketch { return newSketch() }
+
+// Observe records one value. Negative values clamp to zero (the
+// instruments record latencies; a negative duration is a clock artifact).
+//
+//paratreet:hotpath
+func (s *Sketch) Observe(v int64) {
+	if s == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	s.counts[sketchIndex(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+	for {
+		cur := s.min.Load()
+		if v >= cur || s.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := s.max.Load()
+		if v <= cur || s.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Merge adds o's observations into s by bucketwise addition. Merging is
+// exact: the merged sketch is indistinguishable from one that observed
+// both streams. Concurrent Observe calls on either sketch are safe; a
+// merge racing observers folds in a possibly-torn but valid view. Merging
+// a sketch into itself doubles it. No-op when either side is nil.
+func (s *Sketch) Merge(o *Sketch) {
+	if s == nil {
+		return
+	}
+	if o == nil || o.count.Load() == 0 {
+		return
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			s.counts[i].Add(n)
+		}
+	}
+	s.count.Add(o.count.Load())
+	s.sum.Add(o.sum.Load())
+	for _, v := range []int64{o.min.Load(), o.max.Load()} {
+		for {
+			cur := s.min.Load()
+			if v >= cur || s.min.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+		for {
+			cur := s.max.Load()
+			if v <= cur || s.max.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+}
+
+// Reset zeroes the sketch for reuse (rolling-window slots).
+func (s *Sketch) Reset() {
+	if s == nil {
+		return
+	}
+	for i := range s.counts {
+		s.counts[i].Store(0)
+	}
+	s.count.Store(0)
+	s.sum.Store(0)
+	s.min.Store(int64(1)<<62 - 1)
+	s.max.Store(-(int64(1)<<62 - 1))
+}
+
+// Count returns how many values were observed.
+func (s *Sketch) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed values:
+// the midpoint of the bucket holding the ceil(q*count)-th smallest value,
+// clamped into [min, max]. Returns 0 on an empty or nil sketch. The
+// estimate is within one sub-bucket of the exact sample quantile, i.e.
+// relative error <= 1/64 (exact for values below 128).
+func (s *Sketch) Quantile(q float64) int64 {
+	if s == nil {
+		return 0
+	}
+	total := s.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i := range s.counts {
+		cum += s.counts[i].Load()
+		if cum > rank {
+			return s.clamp(sketchMid(i))
+		}
+	}
+	return s.clamp(s.max.Load())
+}
+
+// clamp bounds a reconstructed value by the exact observed extrema.
+func (s *Sketch) clamp(v int64) int64 {
+	if mn := s.min.Load(); v < mn {
+		return mn
+	}
+	if mx := s.max.Load(); v > mx {
+		return mx
+	}
+	return v
+}
+
+// SketchSnapshot is a plain-value summary of a Sketch: exact count, sum,
+// and extrema plus the standard tail quantiles. It is what snapshots,
+// /stats, and the Prometheus exposition carry; the full bucket array
+// stays in the live sketch.
+type SketchSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+	P999  int64 `json:"p999"`
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (s SketchSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot summarizes the sketch. Concurrent observers may make the
+// aggregates mutually torn (count vs buckets); each field is valid.
+func (s *Sketch) Snapshot() SketchSnapshot {
+	if s == nil {
+		return SketchSnapshot{}
+	}
+	if s.count.Load() == 0 {
+		return SketchSnapshot{}
+	}
+	return SketchSnapshot{
+		Count: s.count.Load(),
+		Sum:   s.sum.Load(),
+		Min:   s.min.Load(),
+		Max:   s.max.Load(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
+	}
+}

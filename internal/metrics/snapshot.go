@@ -44,7 +44,9 @@ type Snapshot struct {
 	Label        string                       `json:"label,omitempty"`
 	Config       map[string]string            `json:"config,omitempty"`
 	Counters     map[string]int64             `json:"counters"`
+	Gauges       map[string]int64             `json:"gauges,omitempty"`
 	Histograms   map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Sketches     map[string]SketchSnapshot    `json:"quantiles,omitempty"`
 	PhasesNs     map[string]int64             `json:"phases_ns,omitempty"`
 	Workers      []WorkerUtil                 `json:"workers,omitempty"`
 	Comm         []CommEdge                   `json:"comm,omitempty"`
@@ -86,6 +88,16 @@ func (s *Snapshot) WriteCSV(w io.Writer) error {
 		}
 	}
 	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "gauge,%s,%d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
 	for name := range s.Histograms {
 		names = append(names, name)
 	}
@@ -94,6 +106,18 @@ func (s *Snapshot) WriteCSV(w io.Writer) error {
 		h := s.Histograms[name]
 		if _, err := fmt.Fprintf(w, "hist_count,%s,%d\nhist_sum,%s,%d\nhist_mean,%s,%.1f\n",
 			name, h.Count, name, h.Sum, name, h.Mean()); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Sketches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sk := s.Sketches[name]
+		if _, err := fmt.Fprintf(w, "quantile_p50,%s,%d\nquantile_p90,%s,%d\nquantile_p99,%s,%d\nquantile_p999,%s,%d\n",
+			name, sk.P50, name, sk.P90, name, sk.P99, name, sk.P999); err != nil {
 			return err
 		}
 	}

@@ -47,6 +47,10 @@ const (
 	// the span covers the wave's traversal time, and its name carries the
 	// batch size.
 	EvBatch
+	// EvSLO is an SLO watchdog transition instant: a breach (readiness
+	// dropped: error rate or latency out of objective) or a recovery. The
+	// name carries the direction and reason, e.g. "breach[p99]".
+	EvSLO
 
 	// NumEventKinds is the number of event kinds.
 	NumEventKinds
@@ -57,7 +61,7 @@ const (
 var eventKindNames = [NumEventKinds]string{
 	"phase", "task", "idle", "msg-send", "msg-recv",
 	"fetch", "fill", "park", "resume", "barrier",
-	"drop", "retry", "batch",
+	"drop", "retry", "batch", "slo",
 }
 
 // String implements fmt.Stringer.

@@ -256,6 +256,7 @@ type Machine struct {
 	commMsgs []cell // P*P proc-pair message counts
 	commByte []cell // P*P proc-pair byte counts
 	taskHist *metrics.Histogram
+	taskQ    *metrics.Sketch
 }
 
 // cell is a cache-line-padded atomic, for the communication matrix.
@@ -283,6 +284,7 @@ func NewMachine(cfg Config) *Machine {
 		m.commMsgs = make([]cell, cfg.Procs*cfg.Procs)
 		m.commByte = make([]cell, cfg.Procs*cfg.Procs)
 		m.taskHist = m.reg.Histogram(metrics.HRTTask)
+		m.taskQ = m.reg.Sketch(metrics.HRTTask)
 		m.tracer = m.reg.Tracer()
 	}
 	for r := 0; r < cfg.Procs; r++ {
@@ -1107,6 +1109,7 @@ func (w *worker) run(wg *sync.WaitGroup) {
 		w.busy.Add(int64(dur))
 		w.tasks.Add(1)
 		w.proc.machine.taskHist.Observe(int64(dur))
+		w.proc.machine.taskQ.Observe(int64(dur))
 		tr.Emit(metrics.EvTask, "task", w.proc.rank, w.id, 0, taskStart, dur)
 		w.proc.stats.TasksRun.Add(1)
 		w.proc.machine.pendingDone()

@@ -125,6 +125,12 @@ type Batcher[Req, Resp any] struct {
 	batchSize        *metrics.Histogram
 	queueWait        *metrics.Histogram
 	waveTime         *metrics.Histogram
+	requestLat       *metrics.Histogram
+	queueWaitQ       *metrics.Sketch
+	waveQ            *metrics.Sketch
+	requestQ         *metrics.Sketch
+	qDepth           *metrics.Gauge
+	inflightG        *metrics.Gauge
 	tracer           *metrics.Tracer
 }
 
@@ -143,10 +149,42 @@ func NewBatcher[Req, Resp any](cfg BatchConfig, run func([]Req) ([]Resp, error))
 		batchSize:        cfg.Registry.Histogram(metrics.HServeBatchSize),
 		queueWait:        cfg.Registry.Histogram(metrics.HServeQueueWait),
 		waveTime:         cfg.Registry.Histogram(metrics.HServeWave),
+		requestLat:       cfg.Registry.Histogram(metrics.HServeRequest),
+		queueWaitQ:       cfg.Registry.Sketch(metrics.HServeQueueWait),
+		waveQ:            cfg.Registry.Sketch(metrics.HServeWave),
+		requestQ:         cfg.Registry.Sketch(metrics.HServeRequest),
+		qDepth:           cfg.Registry.Gauge(metrics.GServeQueueDepth),
+		inflightG:        cfg.Registry.Gauge(metrics.GServeInflightWaves),
 		tracer:           cfg.Registry.Tracer(),
 	}
 	b.cond = sync.NewCond(&b.mu)
+	// Capacity gauges are static per batcher; publish once so saturation
+	// ratios (depth/cap, inflight/max) are computable from one scrape.
+	cfg.Registry.Gauge(metrics.GServeQueueCap).Set(int64(cfg.MaxQueue))
+	cfg.Registry.Gauge(metrics.GServeMaxWaves).Set(int64(cfg.MaxWaves))
 	return b
+}
+
+// Draining reports whether Drain has begun (readiness probes).
+func (b *Batcher[Req, Resp]) Draining() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.draining
+}
+
+// QueueDepth reports the current pending-queue length (saturation
+// sampling).
+func (b *Batcher[Req, Resp]) QueueDepth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+// InFlight reports the number of currently running waves.
+func (b *Batcher[Req, Resp]) InFlight() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inflight
 }
 
 // Submit enqueues one request and blocks until its wave completes (or it
@@ -267,6 +305,8 @@ func (b *Batcher[Req, Resp]) pump() {
 		b.timer()
 		b.timer = nil
 	}
+	b.qDepth.Set(int64(len(b.queue)))
+	b.inflightG.Set(int64(b.inflight))
 	b.cond.Broadcast()
 	b.mu.Unlock()
 	for _, batch := range launches {
@@ -306,12 +346,17 @@ func (b *Batcher[Req, Resp]) runWave(batch []*pending[Req, Resp]) {
 	}
 	b.batchSize.Observe(int64(len(batch)))
 	b.waveTime.Observe(waveDur.Nanoseconds())
+	b.waveQ.Observe(waveDur.Nanoseconds())
 	if b.tracer != nil {
 		b.tracer.Emit(metrics.EvBatch, fmt.Sprintf("wave[%d]", len(batch)), -1, -1, 0, start, waveDur)
 	}
 	for i, p := range batch {
 		wait := start.Sub(p.enqueued)
 		b.queueWait.Observe(wait.Nanoseconds())
+		b.queueWaitQ.Observe(wait.Nanoseconds())
+		total := (wait + waveDur).Nanoseconds()
+		b.requestLat.Observe(total)
+		b.requestQ.Observe(total)
 		out := outcome[Resp]{timing: Timing{
 			Enqueued:  p.enqueued,
 			QueueWait: wait,

@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 
 	"paratreet/internal/metrics"
+	"paratreet/internal/metrics/promexpo"
 )
 
 // AttachIntrospection registers the live-introspection endpoints on mux:
@@ -17,6 +18,7 @@ import (
 //	               memstats) plus a "paratreet" var holding the live
 //	               metrics snapshot
 //	/snapshot      the live metrics snapshot as indented JSON
+//	/metrics       the same snapshot in Prometheus text exposition
 //
 // snapshot supplies the live registry view and may return nil (both
 // endpoints then report null/503). Everything is instance-scoped: nothing
@@ -53,6 +55,7 @@ func AttachIntrospection(mux *http.ServeMux, snapshot func() *metrics.Snapshot) 
 		fmt.Fprintf(w, "%q: %s", "paratreet", live)
 		fmt.Fprintf(w, "\n}\n")
 	})
+	mux.Handle("/metrics", promexpo.Handler(snapshot))
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		snap := snapshot()
 		if snap == nil {

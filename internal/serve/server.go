@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"paratreet/internal/metrics"
@@ -19,17 +20,26 @@ type ServerConfig struct {
 	// DefaultTimeout is the per-request deadline applied when a request
 	// carries no timeout_ms of its own. Default 2s.
 	DefaultTimeout time.Duration
+	// SLO, when it names an objective (MaxErrorRate or MaxP99 nonzero),
+	// runs a watchdog whose breaches flip /readyz to 503. The watchdog's
+	// Registry defaults to the batcher's.
+	SLO SLOConfig
 }
 
 // Server is the HTTP/JSON front of an Engine: POST /query/{knn,range,
-// probe} submit queries through the wave batcher; /healthz and /stats
-// report liveness and the serve.* instruments; the introspection
-// endpoints (pprof, vars, snapshot) ride the same instance-scoped mux.
+// probe} submit queries through the wave batcher; /healthz reports
+// liveness, /readyz reports readiness (503 while draining or out of
+// SLO), /stats the serve.* instruments; the introspection endpoints
+// (pprof, vars, snapshot, Prometheus /metrics) ride the same
+// instance-scoped mux.
 type Server struct {
 	eng            *Engine
 	bat            *Batcher[Query, Answer]
 	mux            *http.ServeMux
 	defaultTimeout time.Duration
+	watchdog       *Watchdog
+	reqSeq         atomic.Int64
+	draining       atomic.Bool
 }
 
 // NewServer wires a server over eng. The batcher records into the
@@ -41,16 +51,22 @@ func NewServer(eng *Engine, cfg ServerConfig) *Server {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 2 * time.Second
 	}
+	if cfg.SLO.Registry == nil {
+		cfg.SLO.Registry = cfg.Batch.Registry
+	}
 	s := &Server{
 		eng:            eng,
 		bat:            NewBatcher[Query, Answer](cfg.Batch, eng.RunBatch),
 		mux:            http.NewServeMux(),
 		defaultTimeout: cfg.DefaultTimeout,
+		watchdog:       NewWatchdog(cfg.SLO),
 	}
+	s.watchdog.Start()
 	s.mux.HandleFunc("/query/knn", s.handleQuery(KNN))
 	s.mux.HandleFunc("/query/range", s.handleQuery(Range))
 	s.mux.HandleFunc("/query/probe", s.handleQuery(Probe))
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	AttachIntrospection(s.mux, eng.Snapshot)
 	return s
@@ -62,9 +78,25 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Batcher exposes the underlying batcher (tests, custom drivers).
 func (s *Server) Batcher() *Batcher[Query, Answer] { return s.bat }
 
+// Watchdog exposes the SLO watchdog (tests, the daemon's fault hooks).
+func (s *Server) Watchdog() *Watchdog { return s.watchdog }
+
+// BeginDrain flips /readyz to 503 without stopping intake: the
+// Kubernetes-style first step of shutdown, giving load balancers a grace
+// window to steer traffic away while in-flight requests still complete.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.watchdog.cfg.Registry.Gauge(metrics.GServeReady).Set(0)
+}
+
 // Drain gracefully stops query intake and completes every queued and
-// in-flight wave; call after http.Server.Shutdown on SIGTERM.
-func (s *Server) Drain() { s.bat.Drain() }
+// in-flight wave; call after BeginDrain and http.Server.Shutdown on
+// SIGTERM.
+func (s *Server) Drain() {
+	s.BeginDrain()
+	s.watchdog.Stop()
+	s.bat.Drain()
+}
 
 // queryRequest is the JSON request body shared by the three query
 // endpoints; each endpoint reads the fields relevant to its kind.
@@ -125,8 +157,10 @@ func (s *Server) handleQuery(kind QueryKind) http.HandlerFunc {
 		if req.TimeoutMs > 0 {
 			timeout = time.Duration(req.TimeoutMs * float64(time.Millisecond))
 		}
+		id := s.reqSeq.Add(1)
 		start := time.Now()
 		ans, tm, err := s.bat.Submit(q, start.Add(timeout))
+		s.watchdog.Record(id, time.Since(start), err != nil)
 		if err != nil {
 			writeError(w, statusOf(err), err)
 			return
@@ -206,7 +240,9 @@ func micros(d time.Duration) float64 {
 	return float64(d.Nanoseconds()) / 1e3
 }
 
-// handleHealth reports liveness plus the resident dataset's shape.
+// handleHealth reports liveness plus the resident dataset's shape. It
+// stays 200 through drain and SLO breaches: the process is alive, just
+// not accepting new traffic — that distinction is /readyz's job.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{
@@ -214,6 +250,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"particles": s.eng.NumParticles(),
 		"procs":     s.eng.Procs(),
 	})
+}
+
+// handleReady reports readiness: 200 while the server should receive
+// traffic, 503 once drain has begun (BeginDrain or batcher Drain) or
+// while the SLO watchdog reports a breach. The body says which.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load() || s.bat.Draining()
+	st := s.watchdog.Status()
+	out := struct {
+		Ready    bool      `json:"ready"`
+		Draining bool      `json:"draining"`
+		SLO      SLOStatus `json:"slo"`
+	}{
+		Ready:    !draining && !st.Breached,
+		Draining: draining,
+		SLO:      st,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !out.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(out)
 }
 
 // handleStats reports the serve.* instruments: request/wave/rejection
@@ -226,19 +284,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	out := struct {
 		Counters   map[string]int64                     `json:"counters"`
+		Gauges     map[string]int64                     `json:"gauges"`
 		Histograms map[string]metrics.HistogramSnapshot `json:"histograms"`
+		Quantiles  map[string]metrics.SketchSnapshot    `json:"quantiles"`
 	}{
 		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
 		Histograms: map[string]metrics.HistogramSnapshot{},
+		Quantiles:  map[string]metrics.SketchSnapshot{},
 	}
 	for name, v := range snap.Counters {
 		if strings.HasPrefix(name, "serve.") {
 			out.Counters[name] = v
 		}
 	}
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, "serve.") {
+			out.Gauges[name] = v
+		}
+	}
 	for name, h := range snap.Histograms {
 		if strings.HasPrefix(name, "serve.") {
 			out.Histograms[name] = h
+		}
+	}
+	for name, q := range snap.Sketches {
+		if strings.HasPrefix(name, "serve.") {
+			out.Quantiles[name] = q
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

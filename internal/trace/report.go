@@ -54,6 +54,9 @@ func WriteReport(w io.Writer, t *Trace, opts ReportOptions) error {
 	if err := WriteFetchRTT(w, t); err != nil {
 		return err
 	}
+	if err := WriteLatencyQuantiles(w, t); err != nil {
+		return err
+	}
 	return WriteCriticalPath(w, t)
 }
 
@@ -305,6 +308,44 @@ func WriteFetchRTT(w io.Writer, t *Trace) error {
 		}
 		if _, err := fmt.Fprintf(w, "  r%d p%-2d  pairs %5d  mean %.3f ms\n",
 			k[0], k[1], len(perProc[k]), ms(s/int64(len(perProc[k])))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteLatencyQuantiles prints streaming-sketch tail quantiles of span
+// durations per event kind, for the kinds that represent latencies (task
+// execution, fill insertion, message dispatch, serve waves). It feeds the
+// same metrics.Sketch the live service scrapes, so a trace replayed
+// offline reports the same p50/p90/p99/p999 a /metrics scrape would
+// have shown (within the sketch's documented ≤1/64 relative error).
+func WriteLatencyQuantiles(w io.Writer, t *Trace) error {
+	kinds := []metrics.EventKind{metrics.EvTask, metrics.EvFill, metrics.EvMsgRecv, metrics.EvBatch}
+	if _, err := fmt.Fprintf(w, "== latency quantiles ==\n%-9s %8s %10s %10s %10s %10s\n",
+		"kind", "count", "p50 ms", "p90 ms", "p99 ms", "p999 ms"); err != nil {
+		return err
+	}
+	any := false
+	for _, kind := range kinds {
+		sk := metrics.NewSketch()
+		for _, e := range t.Events {
+			if e.Kind == kind && e.DurNs > 0 {
+				sk.Observe(e.DurNs)
+			}
+		}
+		if sk.Count() == 0 {
+			continue
+		}
+		any = true
+		s := sk.Snapshot()
+		if _, err := fmt.Fprintf(w, "%-9s %8d %10.3f %10.3f %10.3f %10.3f\n",
+			kind, s.Count, ms(s.P50), ms(s.P90), ms(s.P99), ms(s.P999)); err != nil {
+			return err
+		}
+	}
+	if !any {
+		if _, err := fmt.Fprintln(w, "no duration events"); err != nil {
 			return err
 		}
 	}

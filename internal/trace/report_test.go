@@ -72,6 +72,7 @@ func TestWriteReportSections(t *testing.T) {
 		"== phases ==",
 		"== top 3 spans ==",
 		"== fetch rtt ==",
+		"== latency quantiles ==",
 		"== critical path ==",
 		"local-traversal", // phase table row
 		"pairs 1",         // one fetch/fill pair

@@ -50,7 +50,7 @@ go run ./cmd/paratreet-bench knn -quick -trace 65536 \
 	-trace-out "$tracedir/trace.json" -metrics-out "$tracedir/metrics.json" > /dev/null
 go run ./cmd/paratreet-trace validate "$tracedir/trace.json"
 report="$(go run ./cmd/paratreet-trace report "$tracedir/trace.json")"
-for section in summary gantt phases spans "fetch rtt" "critical path"; do
+for section in summary gantt phases spans "fetch rtt" "latency quantiles" "critical path"; do
 	case "$report" in
 	*"$section"*) ;;
 	*)
