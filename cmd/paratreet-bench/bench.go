@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"os/exec"
 	"runtime"
@@ -87,6 +88,8 @@ func runBenchSuite(w io.Writer, seed int64, quick bool) error {
 		{"treebuild/oct/serial", func() (benchResult, error) { return benchTreeBuild(nBuild, seed, 1), nil }},
 		{fmt.Sprintf("treebuild/oct/w=%d", parWorkers), func() (benchResult, error) { return benchTreeBuild(nBuild, seed, parWorkers), nil }},
 		{"radixsort", func() (benchResult, error) { return benchRadixSort(nBuild, seed), nil }},
+		{"incbuild/scratch", func() (benchResult, error) { return benchIncBuild(nBuild, seed, false) }},
+		{"incbuild/inc", func() (benchResult, error) { return benchIncBuild(nBuild, seed, true) }},
 		{"gravity/iter", func() (benchResult, error) { return benchGravityIter(nSim, seed) }},
 		{"knn/iter", func() (benchResult, error) { return benchKNNIter(nSim, seed) }},
 		{"serve/query", func() (benchResult, error) { return benchServeQuery(nSim, seed) }},
@@ -230,6 +233,100 @@ func benchRadixSort(n int, seed int64) benchResult {
 		}
 	})
 	return benchResult{r: r}
+}
+
+// benchIncParticles builds the incremental-build workload: a clustered
+// cloud clamped inside 8 corner-anchor particles, so the tiny per-step
+// drift below never changes the global bounding box (a box change would
+// force the incremental path back to scratch).
+//
+//paratreet:coldpath
+func benchIncParticles(n int, seed int64) []particle.Particle {
+	ps := particle.NewClustered(n-8, seed, vec.UnitBox(), 8)
+	for i := range ps {
+		ps[i].Pos = vec.V(driftClamp(ps[i].Pos.X), driftClamp(ps[i].Pos.Y), driftClamp(ps[i].Pos.Z))
+	}
+	id := int64(len(ps))
+	for cx := 0; cx <= 1; cx++ {
+		for cy := 0; cy <= 1; cy++ {
+			for cz := 0; cz <= 1; cz++ {
+				ps = append(ps, particle.Particle{ID: id, Pos: vec.V(float64(cx), float64(cy), float64(cz)), Mass: 1e-12})
+				id++
+			}
+		}
+	}
+	return ps
+}
+
+// driftClamp keeps a drifted coordinate strictly inside the corner
+// anchors.
+func driftClamp(x float64) float64 {
+	if x < 0.01 {
+		return 0.01
+	}
+	if x > 0.99 {
+		return 0.99
+	}
+	return x
+}
+
+// benchIncBuild measures one timestep of the rebuild loop on a
+// ~1%-movers workload: nudge 1% of the interior particles, then
+// BuildIteration. With incremental=false every op is a from-scratch
+// build; with incremental=true every op after the warmup patches the
+// resident trees along dirty paths. The incbuild/scratch :
+// incbuild/inc ns/op ratio is the incremental speedup the perf
+// trajectory tracks.
+//
+//paratreet:coldpath
+func benchIncBuild(n int, seed int64, incremental bool) (benchResult, error) {
+	movers := n / 100
+	sim, err := paratreet.NewSimulation[gravity.CentroidData](paratreet.Config{
+		Procs: 2, WorkersPerProc: 2, BuildWorkers: 2,
+		Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
+		BucketSize: 16, FetchDepth: 3,
+		Incremental: incremental,
+	}, gravity.Accumulator{}, gravity.Codec{}, benchIncParticles(n, seed))
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer sim.Close()
+	if err := sim.BuildOnly(); err != nil { // warmup: the first build is always scratch
+		return benchResult{}, err
+	}
+	var out benchResult
+	var benchErr error
+	interior := n - 8
+	step := int64(0)
+	out.r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ps := sim.Particles()
+			rng := rand.New(rand.NewSource(seed + step))
+			step++
+			for m := 0; m < movers; m++ {
+				j := rng.Intn(interior)
+				ps[j].Pos.X = driftClamp(ps[j].Pos.X + (rng.Float64()-0.5)*0.02)
+				ps[j].Pos.Y = driftClamp(ps[j].Pos.Y + (rng.Float64()-0.5)*0.02)
+				ps[j].Pos.Z = driftClamp(ps[j].Pos.Z + (rng.Float64()-0.5)*0.02)
+			}
+			b.StartTimer()
+			if err := sim.BuildOnly(); err != nil {
+				benchErr = err
+				b.SkipNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return out, benchErr
+	}
+	if incremental {
+		if st := sim.BuildStats(); st.Mode != "incremental" {
+			return out, fmt.Errorf("incbuild/inc fell back to %q (%s); the measurement is meaningless", st.Mode, st.FallbackReason)
+		}
+	}
+	return out, nil
 }
 
 // benchGravityIter measures one Barnes-Hut iteration end to end on the

@@ -8,7 +8,7 @@
 //	paratreet-bench <experiment> [flags]
 //
 // Experiments: fig3 fig9 fig10 fig11 fig12 fig13 table1 table2 table3 lb
-// fetchdepth sharedepth style knn serve all
+// fetchdepth sharedepth style knn serve incremental all
 //
 // The extra "bench" subcommand runs the perf-trajectory benchmark set and
 // emits/compares benchfmt snapshots (see -bench-out, -bench-compare,
@@ -53,7 +53,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>  (the experiment may also come first)\n", os.Args[0])
-		fmt.Fprintln(os.Stderr, "experiments: fig3 fig9 fig10 fig11 fig12 fig13 table1 table2 table3 lb fetchdepth sharedepth style knn serve all bench")
+		fmt.Fprintln(os.Stderr, "experiments: fig3 fig9 fig10 fig11 fig12 fig13 table1 table2 table3 lb fetchdepth sharedepth style knn serve incremental all bench")
 		flag.PrintDefaults()
 	}
 	// Go's flag package stops parsing at the first non-flag argument, so
@@ -216,6 +216,8 @@ func run(w io.Writer, name string, opts experiments.Options, quick bool) error {
 		res, err = experiments.RunKNN(opts)
 	case "serve":
 		res, err = experiments.RunServe(opts)
+	case "incremental":
+		res, err = experiments.RunIncremental(opts)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

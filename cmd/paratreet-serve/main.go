@@ -59,13 +59,14 @@ type options struct {
 	policy     string
 	bucket     int
 
-	batch     int
-	batchWait time.Duration
-	queueCap  int
-	waves     int
-	timeout   time.Duration
-	faults    string
-	rtTimers  bool
+	batch       int
+	batchWait   time.Duration
+	queueCap    int
+	waves       int
+	timeout     time.Duration
+	faults      string
+	rtTimers    bool
+	incremental bool
 
 	traceCap   int
 	traceOut   string
@@ -99,6 +100,7 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 2*time.Second, "default per-request deadline")
 	flag.StringVar(&o.faults, "faults", "", "inject delivery faults, e.g. drop=0.02,dup=0.02,jitter=200us,seed=7")
 	flag.BoolVar(&o.rtTimers, "rt-timers", true, "run batch flush timers on the simulated machine's delayed self-messages instead of host timers")
+	flag.BoolVar(&o.incremental, "incremental", false, "patch the resident tree incrementally on refresh when particles moved only slightly")
 	flag.IntVar(&o.traceCap, "trace", 0, "trace-span ring capacity (0 = tracing off)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write spans as Chrome Trace Event JSON here on shutdown (implies -trace 65536 when -trace is unset)")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the final metrics snapshot as JSON here on shutdown")
@@ -117,6 +119,12 @@ func main() {
 }
 
 func run(o options) error {
+	if o.batch < 1 {
+		return fmt.Errorf("-batch must be >= 1, got %d", o.batch)
+	}
+	if o.queueCap < 0 {
+		return fmt.Errorf("-queue must be >= 0, got %d", o.queueCap)
+	}
 	if o.traceOut != "" && o.traceCap == 0 {
 		o.traceCap = 65536
 	}
@@ -124,6 +132,7 @@ func run(o options) error {
 		Procs:          o.procs,
 		WorkersPerProc: o.wpp,
 		BucketSize:     o.bucket,
+		Incremental:    o.incremental,
 		Metrics:        paratreet.NewMetricsRegistry(paratreet.MetricsOptions{TraceCapacity: o.traceCap}),
 	}
 	var err error

@@ -50,6 +50,18 @@ type Config struct {
 	// Style selects the top-down traversal loop organization.
 	Style TraversalStyle
 
+	// Incremental enables between-timestep incremental tree updates: when
+	// particles moved only slightly since the previous iteration, the
+	// build patches the existing trees along dirty paths instead of
+	// rebuilding, skips re-broadcasting unchanged subtree summaries, keeps
+	// cached remote data whose home subtree is unchanged, and re-shares
+	// only the buckets of dirty leaves. Results are bit-identical to a
+	// from-scratch build; unsupported configurations (non-octree trees,
+	// Hilbert or ORB decompositions) and structural steps (universe or
+	// splitter change) silently fall back to the scratch path — see
+	// Simulation.BuildStats.
+	Incremental bool
+
 	// LB selects the load balancer; LBPeriod is how many iterations pass
 	// between re-balancing (0 disables).
 	LB       LBMode

@@ -177,6 +177,11 @@ type Cache[D any] struct {
 
 	views []*view[D]
 
+	// lastVersions holds the per-subtree versions the current views were
+	// built against (SetVersions / RefreshViews); nil until the first
+	// versioned build. Build-phase-only state, like views.
+	lastVersions map[uint64]uint64
+
 	insertMu sync.Mutex // XWrite only
 
 	// retry is the fetch deadline policy (zero = disabled). retryTimers
@@ -381,6 +386,7 @@ func (c *Cache[D]) Reset() {
 		v.root = nil
 		v.pending = sync.Map{}
 	}
+	c.lastVersions = nil
 	c.retryMu.Lock()
 	for id, d := range c.retryTimers {
 		delete(c.retryTimers, id)

@@ -45,10 +45,17 @@ func (DiskCodec) AppendData(dst []byte, d DiskData) []byte {
 	return Codec{}.AppendData(dst, d.Coll)
 }
 
-// DecodeData implements tree.DataCodec.
+// DecodeData implements tree.DataCodec; a short buffer yields -1 so
+// truncated fills surface as errors instead of panics.
 func (DiskCodec) DecodeData(b []byte) (DiskData, int) {
 	g, n1 := gravity.Codec{}.DecodeData(b)
+	if n1 < 0 {
+		return DiskData{}, -1
+	}
 	c, n2 := Codec{}.DecodeData(b[n1:])
+	if n2 < 0 {
+		return DiskData{}, -1
+	}
 	return DiskData{Grav: g, Coll: c}, n1 + n2
 }
 

@@ -31,8 +31,10 @@ type Partition[D any] struct {
 	ID int
 	// Home is the rank of the process currently hosting the partition.
 	Home int
-	// LoadNanos is the measured traversal work of the previous iteration,
-	// consumed by the load balancers.
+	// LoadNanos is the measured traversal work accumulated since the last
+	// load-balancing window boundary. It survives from-scratch rebuilds
+	// mid-window, and the balancer zeroes it after consuming a window so
+	// migration tracks recent load, not the whole run's.
 	LoadNanos int64
 
 	mu      sync.Mutex
@@ -50,6 +52,28 @@ func (p *Partition[D]) AddBucket(b *traverse.Bucket) {
 // Buckets returns the partition's buckets. Only call after leaf sharing
 // has quiesced.
 func (p *Partition[D]) Buckets() []*traverse.Bucket { return p.buckets }
+
+// RemoveBucketsByKey drops every bucket whose leaf key is in stale,
+// returning how many were dropped. The incremental build calls it between
+// iterations — before the delta leaf share re-emits dirty leaves — never
+// concurrently with traversal.
+func (p *Partition[D]) RemoveBucketsByKey(stale map[uint64]struct{}) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.buckets[:0]
+	for _, b := range p.buckets {
+		if _, ok := stale[b.Key]; ok {
+			continue
+		}
+		kept = append(kept, b)
+	}
+	removed := len(p.buckets) - len(kept)
+	for i := len(kept); i < len(p.buckets); i++ {
+		p.buckets[i] = nil
+	}
+	p.buckets = kept
+	return removed
+}
 
 // NumParticles counts the partition's particles.
 func (p *Partition[D]) NumParticles() int {
@@ -110,6 +134,18 @@ type Config struct {
 	// retries; enable it whenever the machine injects message loss, or
 	// dropped fetch traffic would strand traversals.
 	Retry cache.RetryPolicy
+	// Incremental enables the between-timestep incremental build path:
+	// when the particle set moved only slightly since the previous
+	// iteration, subtree trees are patched in place along dirty paths
+	// instead of rebuilt, unchanged root summaries are not re-broadcast,
+	// cached remote subtrees with unchanged versions survive the view
+	// refresh, and only buckets of dirty leaves are re-shared. The
+	// resulting state is bit-identical to a from-scratch build of the same
+	// particles; configurations the patch path does not support (non-octree
+	// trees, Hilbert or ORB decompositions) and steps that invalidate the
+	// previous state (universe change, splitter drift) fall back to the
+	// scratch build, with the reason recorded in BuildStats.
+	Incremental bool
 }
 
 // WithDefaults fills unset fields based on the machine size.
@@ -162,7 +198,56 @@ type World[D any] struct {
 
 	homes []int // partition -> proc placement
 
+	stats BuildStats
+	inc   *incState[D]
+
 	rawHandler atomic.Pointer[func(self, from int, msg RawMsg)]
+}
+
+// BuildStats describes what the most recent BuildIteration did: which
+// path it took and, for the incremental path, how much work the patch
+// avoided.
+type BuildStats struct {
+	// Mode is "scratch" or "incremental".
+	Mode string
+	// FallbackReason is why the incremental path was not taken, when
+	// Config.Incremental is set but Mode is "scratch": "first-build",
+	// "tree-type", "decomp-type", "universe-changed", or
+	// "splitters-changed". Empty otherwise.
+	FallbackReason string
+	// Movers counts particles whose Morton key changed since the previous
+	// iteration.
+	Movers int
+	// DirtyLeaves and ReusedLeaves count tree leaves re-bucketed vs kept
+	// across all subtrees; PatchedSubtrees and ReusedSummaries count
+	// subtrees whose summary was re-broadcast vs reused.
+	DirtyLeaves     int
+	ReusedLeaves    int
+	PatchedSubtrees int
+	ReusedSummaries int
+	// RefreshedBuckets and RemovedBuckets count the delta leaf share's
+	// bucket churn.
+	RefreshedBuckets int
+	RemovedBuckets   int
+	// CacheKept and CacheDropped count fetched remote subtrees re-adopted
+	// into the refreshed views vs invalidated by a version change.
+	CacheKept    int
+	CacheDropped int
+}
+
+// incState is the previous iteration's build state the incremental path
+// patches against.
+type incState[D any] struct {
+	universe vec.Box
+	splits   decomp.Splitters
+	sums     []tree.RootSummary
+	// versions counts patches per subtree key; caches keep fetched data
+	// only while its home subtree's version is unchanged.
+	versions map[uint64]uint64
+	// cur is the backing array the live subtree trees alias (nil right
+	// after a scratch build, whose subtrees own per-subtree clones); spare
+	// is the retired buffer recycled for the next step's copy.
+	cur, spare []particle.Particle
 }
 
 // SetRawHandler registers the consumer of RawMsg traffic; self is the
@@ -241,7 +326,52 @@ func (w *World[D]) Homes() []int { return w.homes }
 // builds, the top-share step, and leaf sharing. ps is reordered. After it
 // returns, every partition holds its buckets and every cache presents its
 // view of the global tree.
+//
+// With Config.Incremental set, iterations after the first patch the
+// previous state instead of rebuilding, whenever the configuration and
+// the step's motion permit (see Config.Incremental); BuildStats reports
+// which path ran.
 func (w *World[D]) BuildIteration(ps []particle.Particle) error {
+	if !w.cfg.Incremental {
+		return w.buildScratch(ps, "")
+	}
+	if reason := w.incrementalUnsupported(); reason != "" {
+		return w.buildScratch(ps, reason)
+	}
+	if w.inc == nil {
+		return w.buildScratch(ps, "first-build")
+	}
+	reason, err := w.buildIncremental(ps)
+	if err != nil {
+		return err
+	}
+	if reason != "" {
+		return w.buildScratch(ps, reason)
+	}
+	return nil
+}
+
+// BuildStats returns what the most recent BuildIteration did.
+func (w *World[D]) BuildStats() BuildStats { return w.stats }
+
+// incrementalUnsupported reports why this configuration cannot take the
+// incremental path ("" when it can): the patcher replays octree build
+// decisions over Morton-sorted input, so only octrees under the
+// Morton-keyed decompositions qualify.
+func (w *World[D]) incrementalUnsupported() string {
+	if w.cfg.TreeType != tree.Octree {
+		return "tree-type"
+	}
+	if w.cfg.DecompType != decomp.SFCMorton && w.cfg.DecompType != decomp.Oct {
+		return "decomp-type"
+	}
+	return ""
+}
+
+// buildScratch is the from-scratch build pipeline; reason records why an
+// incremental build was not possible (empty when Incremental is off).
+func (w *World[D]) buildScratch(ps []particle.Particle, reason string) error {
+	w.stats = BuildStats{Mode: "scratch", FallbackReason: reason}
 	buildStart := time.Now()
 	m := w.Machine
 	nprocs := m.NumProcs()
@@ -284,9 +414,16 @@ func (w *World[D]) BuildIteration(ps []particle.Particle) error {
 	// empty leaves in the shared top tree) and build them in parallel on
 	// their owners.
 	w.Subtrees = w.Subtrees[:0]
+	oldParts := w.Partitions
 	w.Partitions = make([]*Partition[D], w.cfg.Partitions)
 	for i := range w.Partitions {
 		w.Partitions[i] = &Partition[D]{ID: i, Home: w.homes[i]}
+		if i < len(oldParts) && oldParts[i] != nil {
+			// Measured load accumulates across the load-balancing window;
+			// the balancer zeroes it at each window boundary, so a rebuild
+			// mid-window must not lose it.
+			w.Partitions[i].LoadNanos = oldParts[i].LoadNanos
+		}
 	}
 	for _, c := range w.Caches {
 		c.Reset()
@@ -367,7 +504,49 @@ func (w *World[D]) BuildIteration(ps []particle.Particle) error {
 	w.BuildTime = time.Since(buildStart)
 
 	// 7. Leaf sharing.
-	return w.leafShare()
+	if err := w.leafShare(); err != nil {
+		return err
+	}
+
+	// 8. When the incremental path is enabled and this configuration
+	// supports it, capture the state the next iteration will patch
+	// against.
+	w.captureIncremental(splits, sums)
+	return nil
+}
+
+// captureIncremental snapshots a scratch build's decomposition state for
+// the next iteration's patch, resetting every subtree's version to 1 and
+// installing the version baseline in the caches (which Reset cleared, so
+// no stale fetched data can survive into the new version numbering).
+func (w *World[D]) captureIncremental(splits decomp.Splitters, sums []tree.RootSummary) {
+	if !w.cfg.Incremental || w.incrementalUnsupported() != "" {
+		w.inc = nil
+		return
+	}
+	versions := make(map[uint64]uint64, len(w.Subtrees))
+	for _, st := range w.Subtrees {
+		versions[st.Key] = 1
+	}
+	var spare []particle.Particle
+	if w.inc != nil {
+		// Both of the previous state's buffers are unreferenced now that
+		// the scratch build re-cloned every subtree; recycle the larger.
+		spare = w.inc.spare
+		if cap(w.inc.cur) > cap(spare) {
+			spare = w.inc.cur
+		}
+	}
+	w.inc = &incState[D]{
+		universe: w.Universe,
+		splits:   splits,
+		sums:     sums,
+		versions: versions,
+		spare:    spare,
+	}
+	for _, c := range w.Caches {
+		c.SetVersions(versions)
+	}
 }
 
 // leafShare walks every subtree's leaves on its owner and hands bucket
@@ -405,46 +584,58 @@ func (w *World[D]) leafShare() error {
 // shareSubtreeLeaves processes one subtree, returning (split buckets,
 // total buckets emitted).
 func (w *World[D]) shareSubtreeLeaves(st *Subtree[D]) (splits, buckets int64) {
-	proc := w.Machine.Proc(st.Owner)
 	for _, leaf := range tree.Leaves(st.Root, nil) {
 		if leaf.Kind() != tree.KindLeaf || len(leaf.Particles) == 0 {
 			continue
 		}
-		// Group the leaf's particles by partition assignment. Assignments
-		// are usually contiguous runs (spatial decompositions), so scan.
-		groups := map[int32][]particle.Particle{}
-		for i := range leaf.Particles {
-			p := leaf.Particles[i]
-			groups[p.Partition] = append(groups[p.Partition], p)
+		s, b := w.shareLeaf(st, leaf)
+		splits += s
+		buckets += b
+	}
+	return splits, buckets
+}
+
+// shareLeaf hands one leaf's particles to their owning partitions:
+// directly for partitions hosted on the subtree's owner, by message
+// otherwise. Returns (split buckets, buckets emitted). Also the unit of
+// the incremental path's delta leaf share, which re-emits only dirty
+// leaves.
+func (w *World[D]) shareLeaf(st *Subtree[D], leaf *tree.Node[D]) (splits, buckets int64) {
+	proc := w.Machine.Proc(st.Owner)
+	// Group the leaf's particles by partition assignment. Assignments
+	// are usually contiguous runs (spatial decompositions), so scan.
+	groups := map[int32][]particle.Particle{}
+	for i := range leaf.Particles {
+		p := leaf.Particles[i]
+		groups[p.Partition] = append(groups[p.Partition], p)
+	}
+	if len(groups) > 1 {
+		splits += int64(len(groups))
+	}
+	for part, group := range groups {
+		buckets++
+		partition := w.Partitions[part]
+		if partition.Home == st.Owner {
+			partition.AddBucket(&traverse.Bucket{
+				Key:       leaf.Key,
+				Box:       leaf.Box,
+				Particles: group, // already a copy (groups built fresh)
+				Home:      st.Owner,
+			})
+			continue
 		}
-		if len(groups) > 1 {
-			splits += int64(len(groups))
+		// Remote partition: serialize and ship the bucket.
+		blob := make([]byte, 0, len(group)*particle.BinarySize)
+		for i := range group {
+			blob = particle.AppendBinary(blob, &group[i])
 		}
-		for part, group := range groups {
-			buckets++
-			partition := w.Partitions[part]
-			if partition.Home == st.Owner {
-				partition.AddBucket(&traverse.Bucket{
-					Key:       leaf.Key,
-					Box:       leaf.Box,
-					Particles: group, // already a copy (groups built fresh)
-					Home:      st.Owner,
-				})
-				continue
-			}
-			// Remote partition: serialize and ship the bucket.
-			blob := make([]byte, 0, len(group)*particle.BinarySize)
-			for i := range group {
-				blob = particle.AppendBinary(blob, &group[i])
-			}
-			proc.Send(partition.Home, bucketMsg{
-				PartitionID: int(part),
-				Key:         leaf.Key,
-				Box:         leaf.Box,
-				Home:        st.Owner,
-				Blob:        blob,
-			}, len(blob)+64)
-		}
+		proc.Send(partition.Home, bucketMsg{
+			PartitionID: int(part),
+			Key:         leaf.Key,
+			Box:         leaf.Box,
+			Home:        st.Owner,
+			Blob:        blob,
+		}, len(blob)+64)
 	}
 	return splits, buckets
 }

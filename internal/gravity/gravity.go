@@ -111,8 +111,12 @@ func (Codec) AppendData(dst []byte, d CentroidData) []byte {
 	return dst
 }
 
-// DecodeData implements tree.DataCodec.
+// DecodeData implements tree.DataCodec; a short buffer yields -1 so
+// truncated fills surface as errors instead of panics.
 func (Codec) DecodeData(b []byte) (CentroidData, int) {
+	if len(b) < 80 {
+		return CentroidData{}, -1
+	}
 	var f [10]float64
 	for i := range f {
 		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))

@@ -43,8 +43,12 @@ func (Codec) AppendData(dst []byte, d Data) []byte {
 	return binary.LittleEndian.AppendUint64(dst, uint64(d.N))
 }
 
-// DecodeData implements tree.DataCodec.
+// DecodeData implements tree.DataCodec; a short buffer yields -1 so
+// truncated fills surface as errors instead of panics.
 func (Codec) DecodeData(b []byte) (Data, int) {
+	if len(b) < 8 {
+		return Data{}, -1
+	}
 	return Data{N: int(binary.LittleEndian.Uint64(b))}, 8
 }
 

@@ -448,6 +448,19 @@ func (m *Machine) PhaseTotals() [NumPhases]time.Duration {
 	return out
 }
 
+// PhasePerProc returns each process's summed per-phase worker time, in
+// rank order — the inputs to a per-phase load-imbalance report
+// (lb.Imbalance of one phase's column).
+func (m *Machine) PhasePerProc() [][NumPhases]time.Duration {
+	out := make([][NumPhases]time.Duration, len(m.procs))
+	for r, p := range m.procs {
+		for i := range p.phases {
+			out[r][i] = time.Duration(p.phases[i].Load())
+		}
+	}
+	return out
+}
+
 // MetricsSnapshot captures the full observability snapshot: every
 // registry instrument plus the machine's own accounting — per-phase
 // times, per-worker busy/idle/task profiles (the comm goroutine appears

@@ -68,6 +68,11 @@ func (e *Engine) Close() { e.sim.Close() }
 // the duration of the build; callers with a Batcher in front should let
 // the queue go idle first, since an armed flush timer from TimerAfterFunc
 // holds a quiescence pending unit the build would wait on.
+//
+// With Config.Incremental set, a refresh whose particles moved only
+// slightly is a delta refresh: trees are patched along dirty paths and
+// unchanged cached state survives, bit-identical to a full rebuild (see
+// BuildStats for which path ran).
 func (e *Engine) Refresh(ps []paratreet.Particle) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -84,10 +89,31 @@ func (e *Engine) Refresh(ps []paratreet.Particle) error {
 func (e *Engine) Registry() *metrics.Registry { return e.reg }
 
 // Snapshot returns the live observability snapshot (nil without metrics).
-func (e *Engine) Snapshot() *metrics.Snapshot { return e.sim.MetricsSnapshot() }
+// It reads simulation state (config labels, particle counts), so it takes
+// the read lock: a Refresh in progress replaces that state under the
+// write lock, and an unlocked read here races the swap.
+func (e *Engine) Snapshot() *metrics.Snapshot {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sim.MetricsSnapshot()
+}
 
-// NumParticles returns the resident dataset size.
-func (e *Engine) NumParticles() int { return len(e.sim.Particles()) }
+// NumParticles returns the resident dataset size. Takes the read lock:
+// Refresh replaces the particle slice under the write lock, and a bare
+// len() read races SetParticles.
+func (e *Engine) NumParticles() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.sim.Particles())
+}
+
+// BuildStats reports what the most recent build (construction or Refresh)
+// did: scratch or incremental, and what an incremental patch reused.
+func (e *Engine) BuildStats() paratreet.BuildStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sim.BuildStats()
+}
 
 // Procs returns the simulated process count serving waves.
 func (e *Engine) Procs() int { return e.procs }

@@ -1,0 +1,183 @@
+package tree
+
+import (
+	"paratreet/internal/particle"
+	"paratreet/internal/sfc"
+)
+
+// Incremental subtree patching (Cornerstone-style temporal coherence):
+// instead of rebuilding a subtree from scratch every timestep, PatchSubtree
+// walks the existing tree alongside the freshly sorted particle array and
+// repairs only what moved. The invariant it preserves is bit-identity: a
+// patched subtree is indistinguishable — node keys, kinds, boxes, counts,
+// bucket contents, and Data — from the tree Build+Accumulate would produce
+// over the same sorted particles, because every decision (bucket cutoff,
+// octant boundaries, fold order) replays the build's exactly, and clean
+// subtrees keep Data that is a pure function of unchanged inputs.
+//
+// Node objects are mutated in place rather than replaced, so the subtree
+// root's identity survives the patch. That is what lets the software cache
+// keep its localRoots registrations — and, crucially, lets remote fills
+// cached on other processes keep referencing this process's subtree across
+// refreshes (DeserializeSubtree wires cross-subtree boundaries to the
+// localRoots objects themselves).
+
+// PatchResult reports what one PatchSubtree call changed, feeding the
+// delta leaf share (which buckets to drop and re-emit) and the versioned
+// cache invalidation (whether the subtree's version must bump).
+type PatchResult[D any] struct {
+	// Changed reports whether anything in the subtree differs from the
+	// previous step — Data, structure, or bucket contents. An unchanged
+	// subtree keeps its version, summary, and every bucket built from it.
+	Changed bool
+	// DirtyLeaves are the leaves whose buckets must be re-shared: content
+	// changed in place, or the leaf is new after a structural rebuild.
+	// Only non-empty KindLeaf nodes appear.
+	DirtyLeaves []*Node[D]
+	// RemovedLeafKeys are keys of leaves that no longer exist (their
+	// region was restructured or emptied); buckets carrying these keys
+	// are stale.
+	RemovedLeafKeys []uint64
+	// ReusedLeaves counts leaves whose particles were unchanged: their
+	// buckets, Data, and (transitively) every clean ancestor's Data were
+	// kept rather than recomputed.
+	ReusedLeaves int
+}
+
+// PatchSubtree repairs the subtree rooted at root so it exactly matches
+// what Build+Accumulate would produce for ps (Morton-sorted within the
+// root's box, keys current). Leaves are re-pointed at subslices of ps —
+// clean or dirty — so after the patch the subtree aliases only ps, never
+// the previous step's array. Octree-only: the caller guarantees
+// cfg.Type == Octree and sorted Morton keys.
+func PatchSubtree[D any](root *Node[D], ps []particle.Particle, cfg BuildConfig, acc Accumulator[D]) *PatchResult[D] {
+	c := cfg.withDefaults()
+	res := &PatchResult[D]{}
+	res.Changed = patchNode(root, ps, 0, &c, acc, res)
+	return res
+}
+
+// patchNode reconciles node n with the sorted slice ps, returning whether
+// anything under n changed. depth is relative to the subtree root,
+// mirroring the build recursion's MaxDepth accounting.
+func patchNode[D any](n *Node[D], ps []particle.Particle, depth int, cfg *BuildConfig, acc Accumulator[D], res *PatchResult[D]) bool {
+	// Replay the build's shape decision for this slice.
+	var want Kind
+	switch {
+	case len(ps) == 0:
+		want = KindEmptyLeaf
+	case len(ps) <= cfg.BucketSize || depth >= cfg.MaxDepth:
+		want = KindLeaf
+	default:
+		want = KindInternal
+	}
+
+	switch k := n.Kind(); {
+	case want == KindEmptyLeaf && k == KindEmptyLeaf:
+		return false
+
+	case want == KindLeaf && k == KindLeaf:
+		if particlesEqual(n.Particles, ps) {
+			// Clean leaf: re-point the bucket at the new array (values are
+			// identical) so the old array can be recycled, and keep Data.
+			n.Particles = ps
+			res.ReusedLeaves++
+			return false
+		}
+		n.Particles = ps
+		n.NParticles = len(ps)
+		n.Data = acc.FromLeaf(ps, n.Box)
+		res.DirtyLeaves = append(res.DirtyLeaves, n)
+		return true
+
+	case want == KindInternal && k == KindInternal:
+		var bounds [9]int
+		if n.Level < sfc.Bits {
+			// Same boundaries the build derives (prefix search and octant
+			// scan agree on Morton-sorted input; see parallel_test.go).
+			bounds = prefixPartition(ps, n.Key, n.Level)
+		} else {
+			bounds = octantPartition(ps, n.Box)
+		}
+		changed := false
+		for i := 0; i < 8; i++ {
+			if patchNode(n.Child(i), ps[bounds[i]:bounds[i+1]], depth+1, cfg, acc, res) {
+				changed = true
+			}
+		}
+		if changed {
+			n.NParticles = len(ps)
+			// Re-fold in child index order — the same in-order fold
+			// Accumulate and AccumulateParallel use, so Data stays
+			// bit-identical to a from-scratch accumulation.
+			d := acc.Empty()
+			for i := 0; i < 8; i++ {
+				d = acc.Add(d, n.Child(i).Data)
+			}
+			n.Data = d
+		}
+		return changed
+
+	default:
+		// Shape transition (leaf gained enough particles to split, an
+		// internal region drained below the bucket cutoff, a leaf emptied,
+		// an empty octant filled): rebuild this region from scratch and
+		// graft it into the existing node object.
+		collectRemovedLeaves(n, res)
+		graftRebuild(n, ps, depth, cfg, acc, res)
+		return true
+	}
+}
+
+// collectRemovedLeaves records the keys of every bucket-bearing leaf under
+// n; callers invoke it before restructuring n so the stale buckets can be
+// dropped during the delta leaf share.
+func collectRemovedLeaves[D any](n *Node[D], res *PatchResult[D]) {
+	Walk(n, func(m *Node[D]) bool {
+		if m.Kind() == KindLeaf && len(m.Particles) > 0 {
+			res.RemovedLeafKeys = append(res.RemovedLeafKeys, m.Key)
+		}
+		return true
+	})
+}
+
+// graftRebuild replaces n's contents with a freshly built (and
+// accumulated) subtree over ps, preserving n's object identity: the
+// fresh root's kind, children, bucket, count, and Data are moved into n
+// and the children reparented. Every bucket-bearing leaf of the rebuilt
+// region is dirty by construction.
+func graftRebuild[D any](n *Node[D], ps []particle.Particle, depth int, cfg *BuildConfig, acc Accumulator[D], res *PatchResult[D]) {
+	fresh := build[D](ps, n.Box, n.Key, n.Level, depth, cfg)
+	Accumulate(fresh, acc)
+	n.SetKind(fresh.Kind())
+	n.children = fresh.children
+	for i := range n.children {
+		if c := n.children[i].Load(); c != nil {
+			c.Parent = n
+		}
+	}
+	n.Particles = fresh.Particles
+	n.NParticles = fresh.NParticles
+	n.Data = fresh.Data
+	Walk(n, func(m *Node[D]) bool {
+		if m.Kind() == KindLeaf && len(m.Particles) > 0 {
+			res.DirtyLeaves = append(res.DirtyLeaves, m)
+		}
+		return true
+	})
+}
+
+// particlesEqual reports elementwise struct equality — every field,
+// including Key and Partition, so a particle that moved, was re-keyed, or
+// was reassigned to another partition always dirties its leaf.
+func particlesEqual(a, b []particle.Particle) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

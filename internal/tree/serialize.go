@@ -15,7 +15,11 @@ import (
 type DataCodec[D any] interface {
 	// AppendData appends the wire form of d to dst.
 	AppendData(dst []byte, d D) []byte
-	// DecodeData decodes one Data value, returning it and the bytes consumed.
+	// DecodeData decodes one Data value, returning it and the bytes
+	// consumed. Implementations must bounds-check b and return a negative
+	// count (rather than panic) when it is too short — fills can arrive
+	// truncated, and DeserializeSubtree turns the negative count into an
+	// error.
 	DecodeData(b []byte) (D, int)
 }
 
@@ -81,23 +85,38 @@ func serializeNode[D any](n *Node[D], depthLeft int, codec DataCodec[D], out *[]
 // checks it first so a shipped boundary that re-enters local data is wired
 // to the local subtree instead (Fig 2's hash-table check at Step 3).
 // It returns the root of the reconstructed piece.
+//
+// The wire counts — the node count and each leaf's particle count — are
+// untrusted: a truncated or garbled fill (the fault layer can produce
+// short deliveries) is reported as an error, never a panic or an
+// attacker-sized allocation. Both counts are clamped against the bytes
+// actually remaining before they size anything.
 func DeserializeSubtree[D any](b []byte, logB uint, codec DataCodec[D], localRoots map[uint64]*Node[D]) (*Node[D], error) {
+	// minNodeBytes is the smallest possible wire node: key, kind, owner,
+	// particle count, and box, with a zero-byte codec payload.
+	const minNodeBytes = 8 + 1 + 4 + 4 + 48
 	if len(b) < 4 {
 		return nil, fmt.Errorf("tree: fill too short (%d bytes)", len(b))
 	}
 	count := int(binary.LittleEndian.Uint32(b))
 	b = b[4:]
+	if count > len(b)/minNodeBytes {
+		return nil, fmt.Errorf("tree: fill claims %d nodes but only %d bytes remain", count, len(b))
+	}
 	nodes := make(map[uint64]*Node[D], count)
 	var order []*Node[D]
 	branch := 1 << logB
 	for i := 0; i < count; i++ {
-		if len(b) < 8+1+4+4+48 {
+		if len(b) < minNodeBytes {
 			return nil, fmt.Errorf("tree: fill truncated at node %d", i)
 		}
 		key := binary.LittleEndian.Uint64(b)
 		b = b[8:]
 		kind := Kind(b[0])
 		b = b[1:]
+		if kind != KindCachedRemote && kind != KindCachedRemoteLeaf {
+			return nil, fmt.Errorf("tree: fill node %d has non-wire kind %d", i, kind)
+		}
 		owner := int32(binary.LittleEndian.Uint32(b))
 		b = b[4:]
 		np := int(binary.LittleEndian.Uint32(b))
@@ -127,6 +146,9 @@ func DeserializeSubtree[D any](b []byte, logB uint, codec DataCodec[D], localRoo
 			}
 			pc := int(binary.LittleEndian.Uint32(b))
 			b = b[4:]
+			if pc > len(b)/particle.BinarySize {
+				return nil, fmt.Errorf("tree: fill leaf %#x claims %d particles but only %d bytes remain", key, pc, len(b))
+			}
 			if pc > 0 {
 				n.Particles = make([]particle.Particle, pc)
 				for j := 0; j < pc; j++ {

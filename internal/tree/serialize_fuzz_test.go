@@ -1,0 +1,94 @@
+package tree
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"paratreet/internal/vec"
+)
+
+// fuzzSeedBlobs returns valid serialized subtrees of several shapes, the
+// corpus the fuzzer mutates into truncations and garblings.
+func fuzzSeedBlobs(tb testing.TB) [][]byte {
+	tb.Helper()
+	box := vec.UnitBox()
+	var blobs [][]byte
+	for _, n := range []int{1, 40, 400} {
+		ps := uniformSorted(n, int64(n), box)
+		root := Build[countData](ps, box, RootKey, 0, BuildConfig{Type: Octree, BucketSize: 8})
+		Accumulate(root, countAcc{})
+		for _, depth := range []int{0, 2, 100} {
+			blobs = append(blobs, SerializeSubtree(root, depth, countCodec{}))
+		}
+	}
+	return blobs
+}
+
+// FuzzDeserializeSubtree feeds truncated and garbled fills to the
+// deserializer: whatever the bytes, it must return an error or a tree,
+// never panic or let a wire count drive an oversized allocation (the
+// count clamps are what keep a 4-billion-node claim from OOMing).
+func FuzzDeserializeSubtree(f *testing.F) {
+	for _, blob := range fuzzSeedBlobs(f) {
+		f.Add(blob)
+		// Truncations at interesting offsets.
+		for _, cut := range []int{1, 4, 5, 64, 65, 66, len(blob) / 2, len(blob) - 1} {
+			if cut >= 0 && cut < len(blob) {
+				f.Add(blob[:cut])
+			}
+		}
+		// A garbled node count claiming far more nodes than shipped.
+		if len(blob) >= 4 {
+			big := append([]byte(nil), blob...)
+			binary.LittleEndian.PutUint32(big, 1<<31-1)
+			f.Add(big)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		localRoots := map[uint64]*Node[countData]{
+			ChildKey(RootKey, 2, 3): NewNode[countData](ChildKey(RootKey, 2, 3), 1, KindInternal, 8),
+		}
+		n, err := DeserializeSubtree[countData](data, 3, countCodec{}, localRoots)
+		if err != nil {
+			return
+		}
+		if n == nil {
+			t.Fatal("nil root without error")
+		}
+	})
+}
+
+// TestDeserializeWireCountClamps pins the two clamp paths directly: a
+// node count and a particle count larger than the remaining bytes could
+// possibly hold must error out before any allocation is sized by them.
+func TestDeserializeWireCountClamps(t *testing.T) {
+	// Huge node count over an empty body.
+	blob := binary.LittleEndian.AppendUint32(nil, 1<<31-1)
+	if _, err := DeserializeSubtree[countData](blob, 3, countCodec{}, nil); err == nil {
+		t.Error("oversized node count should error")
+	}
+
+	// Valid single-leaf fill whose particle count is then garbled upward.
+	box := vec.UnitBox()
+	ps := uniformSorted(3, 7, box)
+	root := Build[countData](ps, box, RootKey, 0, BuildConfig{Type: Octree, BucketSize: 16})
+	Accumulate(root, countAcc{})
+	good := SerializeSubtree(root, 1, countCodec{})
+	if _, err := DeserializeSubtree[countData](good, 3, countCodec{}, nil); err != nil {
+		t.Fatalf("control round-trip failed: %v", err)
+	}
+	// The particle count sits right after count+key+kind+owner+np+box+data.
+	pcOff := 4 + 8 + 1 + 4 + 4 + 48 + 16
+	bad := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bad[pcOff:], 1<<30)
+	if _, err := DeserializeSubtree[countData](bad, 3, countCodec{}, nil); err == nil {
+		t.Error("oversized particle count should error")
+	}
+
+	// A garbled kind byte must be rejected, not wired into the tree.
+	badKind := append([]byte(nil), good...)
+	badKind[4+8] = 200
+	if _, err := DeserializeSubtree[countData](badKind, 3, countCodec{}, nil); err == nil {
+		t.Error("non-wire kind should error")
+	}
+}

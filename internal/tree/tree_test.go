@@ -39,6 +39,9 @@ func (countCodec) AppendData(dst []byte, d countData) []byte {
 	return dst
 }
 func (countCodec) DecodeData(b []byte) (countData, int) {
+	if len(b) < 16 {
+		return countData{}, -1
+	}
 	return countData{
 		N:    int(binary.LittleEndian.Uint64(b)),
 		Mass: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),

@@ -1,0 +1,149 @@
+package paratreet_test
+
+import (
+	"reflect"
+	"testing"
+
+	"paratreet"
+	"paratreet/internal/knn"
+	"paratreet/internal/lb"
+)
+
+// Load-balancing window accounting tests. Partition.LoadNanos must (a)
+// accumulate across the iterations of one LB window — including across
+// from-scratch rebuilds, which recreate the Partition objects — and (b)
+// be zeroed at each window boundary, so the balancer sees only the last
+// window's load and migration reacts when the hotspot moves.
+
+// loadInjectDriver runs no traversals and injects a synthetic per-
+// partition load in PostTraversal: heavy on the low half of the SFC
+// order when *heavyLow, heavy on the high half otherwise. With no
+// traversals launched there is no measured work, so the injected values
+// are the partitions' exact loads and the balancer's output is exactly
+// predictable.
+func loadInjectDriver(heavyLow *bool, heavy int64) paratreet.DriverFuncs[knn.Data] {
+	return paratreet.DriverFuncs[knn.Data]{
+		TraversalFn: func(s *paratreet.Simulation[knn.Data], iter int) {},
+		PostTraversalFn: func(s *paratreet.Simulation[knn.Data], iter int) {
+			parts := s.Partitions()
+			for i, p := range parts {
+				if (i < len(parts)/2) == *heavyLow {
+					p.LoadNanos += heavy
+				}
+			}
+		},
+	}
+}
+
+// windowLoads is the load vector one LB window accumulates under
+// loadInjectDriver: iters injections of heavy on the chosen half.
+func windowLoads(nparts, iters int, heavyLow bool, heavy int64) []int64 {
+	loads := make([]int64, nparts)
+	for i := range loads {
+		if (i < nparts/2) == heavyLow {
+			loads[i] = int64(iters) * heavy
+		}
+	}
+	return loads
+}
+
+// TestLoadWindowSurvivesRebuilds pins the carry half of the fix: with
+// scratch rebuilds every iteration (which recreate every Partition), the
+// load injected in earlier iterations of the window must still be there
+// before the window closes. Before the fix, rebuilt partitions started
+// back at zero and the balancer only ever saw the final iteration.
+func TestLoadWindowSurvivesRebuilds(t *testing.T) {
+	const n = 1000
+	const heavy = int64(1e12)
+	heavyLow := true
+	sim := newKNNSim(t, paratreet.Config{
+		Procs: 2, WorkersPerProc: 1, Partitions: 8, BucketSize: 16,
+		Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
+		LB: paratreet.LBSFC, LBPeriod: 3,
+	}, incParticles(n, 12))
+	defer sim.Close()
+	if err := sim.Run(2, loadInjectDriver(&heavyLow, heavy)); err != nil {
+		t.Fatal(err)
+	}
+	// Two iterations into a three-iteration window: both injections must
+	// have accumulated despite the second iteration's rebuild.
+	for i, p := range sim.Partitions() {
+		want := int64(0)
+		if i < len(sim.Partitions())/2 {
+			want = 2 * heavy
+		}
+		if p.LoadNanos != want {
+			t.Fatalf("partition %d LoadNanos = %d after 2 of 3 window iters, want %d", i, p.LoadNanos, want)
+		}
+	}
+	// Close the window: the balancer consumes the loads and zeroes them.
+	if err := sim.Run(1, loadInjectDriver(&heavyLow, heavy)); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range sim.Partitions() {
+		if p.LoadNanos != 0 {
+			t.Fatalf("partition %d LoadNanos = %d after window boundary, want 0", i, p.LoadNanos)
+		}
+	}
+}
+
+// TestMigrationReactsToLoadShift pins the windowing half of the fix on
+// the incremental build path: when the hotspot moves from the low SFC
+// half to the high half, the next window's placement must follow it —
+// and must equal exactly what the SFC balancer maps from that window's
+// loads alone. With cumulative (unwindowed) accounting the second
+// placement would still be dominated by the first phase's load and stay
+// put.
+func TestMigrationReactsToLoadShift(t *testing.T) {
+	const n = 2000
+	const heavy = int64(1e12)
+	const nparts = 16
+	const procs = 4
+	heavyLow := true
+	sim := newKNNSim(t, paratreet.Config{
+		Procs: procs, WorkersPerProc: 1, Partitions: nparts, BucketSize: 16,
+		Tree: paratreet.TreeOct, Decomp: paratreet.DecompSFC,
+		LB: paratreet.LBSFC, LBPeriod: 2,
+		Incremental: true,
+	}, incParticles(n, 5))
+	defer sim.Close()
+	driver := loadInjectDriver(&heavyLow, heavy)
+
+	// Phase A: hotspot on the low half; the window closes at iteration 2.
+	if err := sim.Run(2, driver); err != nil {
+		t.Fatal(err)
+	}
+	if st := sim.BuildStats(); st.Mode != "incremental" {
+		t.Fatalf("steady-state build took mode %q (fallback %q), want incremental", st.Mode, st.FallbackReason)
+	}
+	homesA := append([]int(nil), sim.World().Homes()...)
+	wantA, err := lb.SFCMap(windowLoads(nparts, 2, true, heavy), procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(homesA, wantA) {
+		t.Fatalf("phase A homes = %v, want %v (SFC map of the window's loads)", homesA, wantA)
+	}
+
+	// Phase B: the hotspot shifts to the high half. After the next window
+	// boundary the placement must track the shift exactly; cumulative
+	// accounting would instead see a symmetric A+B load.
+	heavyLow = false
+	if err := sim.Run(2, driver); err != nil {
+		t.Fatal(err)
+	}
+	if st := sim.BuildStats(); st.Mode != "incremental" {
+		t.Fatalf("post-migration build took mode %q (fallback %q), want incremental", st.Mode, st.FallbackReason)
+	}
+	homesB := append([]int(nil), sim.World().Homes()...)
+	wantB, err := lb.SFCMap(windowLoads(nparts, 2, false, heavy), procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(homesB, wantB) {
+		t.Fatalf("phase B homes = %v, want %v (SFC map of the shifted window's loads)", homesB, wantB)
+	}
+	if reflect.DeepEqual(homesA, homesB) {
+		t.Fatal("placement did not move when the hotspot shifted halves")
+	}
+}

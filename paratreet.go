@@ -71,6 +71,10 @@ type (
 	Partition[D any] = core.Partition[D]
 )
 
+// BuildStats describes the most recent iteration's build: which path ran
+// (scratch or incremental) and what the incremental patch reused.
+type BuildStats = core.BuildStats
+
 // TreeType selects the spatial subdivision strategy.
 type TreeType = tree.Type
 

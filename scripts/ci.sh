@@ -40,6 +40,18 @@ echo "==> chaos (differential fault injection)"
 # tests), with the race detector watching the retry and drop-audit paths.
 go test -race -short -run 'TestChaos' .
 
+echo "==> incremental differential gate"
+# The incremental-build differential gate: an Incremental simulation must
+# stay bit-identical to a from-scratch one through multi-step drift
+# workloads — trees, buckets, float Data, and traversal answers — across
+# the supported decomp/policy matrix, including the faulted variant
+# (TestIncrementalFaultedMatchesScratch) where every cache fetch rides an
+# unreliable link. The serve pass covers the refresh seam: concurrent
+# waves racing a delta Refresh must answer from exactly one tree state,
+# and the stats endpoints must stay race-free mid-refresh.
+go test -race -short -run 'TestIncremental' .
+go test -race -short -run 'TestEngineStatsDuringRefresh|TestWavesRaceDeltaRefresh' ./internal/serve/
+
 echo "==> trace pipeline"
 # End-to-end timeline check: a quick traced kNN run must produce a Chrome
 # trace the analyzer accepts (paratreet-trace exits nonzero on malformed

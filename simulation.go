@@ -88,6 +88,7 @@ func NewSimulation[D any](cfg Config, acc Accumulator[D], codec DataCodec[D], ps
 		ShareDepth:   cfg.ShareDepth,
 		BuildWorkers: cfg.BuildWorkers,
 		Retry:        cache.RetryPolicy{Timeout: cfg.fetchTimeout()},
+		Incremental:  cfg.Incremental,
 	}, acc, codec)
 	m.Start()
 	return &Simulation[D]{cfg: cfg, machine: m, world: world, particles: ps}, nil
@@ -185,8 +186,20 @@ func (s *Simulation[D]) balanceLoad() error {
 	if err != nil {
 		return err
 	}
+	// Window boundary: the collected loads cover the iterations since the
+	// last balance; zero the accumulators so the next window measures only
+	// its own work instead of the whole run's (which would make migration
+	// blind to load shifts).
+	for _, p := range parts {
+		p.LoadNanos = 0
+	}
 	return s.world.SetHomes(homes)
 }
+
+// BuildStats returns what the most recent iteration's build did: which
+// path ran (scratch or incremental, with the fallback reason) and, for
+// incremental builds, how much work the patch avoided.
+func (s *Simulation[D]) BuildStats() BuildStats { return s.world.BuildStats() }
 
 // Iter returns the number of completed iterations.
 func (s *Simulation[D]) Iter() int { return s.iter }
